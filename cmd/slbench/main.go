@@ -1,0 +1,61 @@
+// Command slbench regenerates the paper's tables and figures. Each
+// experiment prints the same rows/series the paper reports; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	slbench -list
+//	slbench -exp fig3a            # one experiment, quick scale
+//	slbench -exp all -full        # everything at the DESIGN.md scales
+//	slbench -exp table2 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sliceline/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id to run, or 'all'")
+		full = flag.Bool("full", false, "run at full (DESIGN.md) scales instead of quick scales")
+		seed = flag.Int64("seed", 1, "dataset generation seed")
+		list = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-8s %-50s %s\n", e.ID, e.Title, e.Paper)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := bench.Options{Quick: !*full, Seed: *seed}
+	if strings.EqualFold(*exp, "all") {
+		if err := bench.RunAll(os.Stdout, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "slbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, ok := bench.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "slbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("=== %s — %s (%s) ===\n", e.ID, e.Title, e.Paper)
+	if err := e.Run(os.Stdout, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "slbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,177 @@
+// Command sliceline finds the top-K problematic data slices of an ML model.
+// It either loads a CSV (training a model on it to derive the error vector)
+// or generates one of the built-in synthetic datasets, then runs the
+// SliceLine enumeration and prints the top-K slices.
+//
+// Usage:
+//
+//	sliceline -dataset adult -k 5 -alpha 0.95 -maxlevel 3
+//	sliceline -csv data.csv -label y -task reg -k 4
+//	sliceline -dataset uscensus -workers localhost:7071,localhost:7072
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sliceline/internal/core"
+	"sliceline/internal/datagen"
+	"sliceline/internal/dist"
+	"sliceline/internal/frame"
+	"sliceline/internal/ml"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "", "synthetic dataset: salaries|adult|covtype|kdd98|uscensus|criteo")
+		rows     = flag.Int("rows", 0, "synthetic row count (0 = dataset default)")
+		csvPath  = flag.String("csv", "", "CSV file to load instead of a synthetic dataset")
+		label    = flag.String("label", "", "label column name for -csv")
+		task     = flag.String("task", "class", "model for -csv: class (mlogit) or reg (linear)")
+		bins     = flag.Int("bins", 10, "equi-width bins for continuous features")
+		k        = flag.Int("k", 4, "top-K slices")
+		alpha    = flag.Float64("alpha", 0.95, "error/size weight in (0,1]")
+		sigma    = flag.Int("sigma", 0, "minimum support (0 = max(32, n/100))")
+		maxLevel = flag.Int("maxlevel", 0, "maximum lattice level (0 = unbounded)")
+		seed     = flag.Int64("seed", 1, "synthetic dataset seed")
+		workers  = flag.String("workers", "", "comma-separated worker addresses for distributed evaluation")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
+		progress = flag.Bool("progress", false, "print per-level progress to stderr")
+	)
+	flag.Parse()
+
+	ds, errVec, err := loadInput(*dataset, *csvPath, *label, *task, *bins, *rows, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sliceline:", err)
+		os.Exit(1)
+	}
+
+	cfg := core.Config{K: *k, Alpha: *alpha, Sigma: *sigma, MaxLevel: *maxLevel}
+	if *progress {
+		cfg.OnLevel = func(ls core.LevelStats) {
+			fmt.Fprintf(os.Stderr, "level %d: %d candidates, %d valid, %d pruned (%v)\n",
+				ls.Level, ls.Candidates, ls.Valid, ls.Pruned, ls.Elapsed.Round(1e6))
+		}
+	}
+	if *workers != "" {
+		cluster, err := dialCluster(strings.Split(*workers, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sliceline:", err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		cfg.Evaluator = cluster
+	}
+
+	res, err := core.Run(ds, errVec, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sliceline:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "sliceline:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("dataset %s: n=%d m=%d l=%d avg error %.4f sigma=%d alpha=%.2f\n",
+		ds.Name, ds.NumRows(), ds.NumFeatures(), ds.OneHotWidth(), res.AvgError, res.Sigma, res.Alpha)
+	fmt.Printf("enumerated %d candidates over %d levels in %v\n\n",
+		res.TotalCandidates(), len(res.Levels), res.Elapsed.Round(1e6))
+	if len(res.TopK) == 0 {
+		fmt.Println("no slices with positive score satisfy the support constraint")
+		return
+	}
+	for i, s := range res.TopK {
+		fmt.Printf("#%d %s\n", i+1, s)
+	}
+}
+
+func loadInput(dataset, csvPath, label, task string, bins, rows int, seed int64) (*frame.Dataset, []float64, error) {
+	if csvPath != "" {
+		return loadCSV(csvPath, label, task, bins)
+	}
+	var g *datagen.Generated
+	switch strings.ToLower(dataset) {
+	case "salaries":
+		g = datagen.Salaries(seed)
+	case "adult":
+		g = datagen.Adult(seed)
+	case "covtype":
+		g = datagen.Covtype(rows, seed)
+	case "kdd98":
+		g = datagen.KDD98(rows, seed)
+	case "uscensus":
+		g = datagen.USCensus(rows, seed)
+	case "criteo":
+		g = datagen.Criteo(rows, seed)
+	case "":
+		return nil, nil, fmt.Errorf("either -dataset or -csv is required")
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	return g.DS, g.Err, nil
+}
+
+func loadCSV(path, label, task string, bins int) (*frame.Dataset, []float64, error) {
+	if label == "" {
+		return nil, nil, fmt.Errorf("-label is required with -csv")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fr, err := frame.ReadCSV(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := frame.FromFrame(fr, label, bins)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := frame.OneHot(ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch task {
+	case "reg":
+		model, err := ml.TrainLinReg(enc.X, ds.Y, ml.LinRegConfig{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, ml.SquaredLoss(ds.Y, model.Predict(enc.X)), nil
+	case "class":
+		model, err := ml.TrainMlogit(enc.X, ds.Y, ml.MlogitConfig{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, ml.Inaccuracy(ds.Y, model.Predict(enc.X)), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown task %q (want class or reg)", task)
+	}
+}
+
+func dialCluster(addrs []string) (*dist.Cluster, error) {
+	workers := make([]dist.Worker, 0, len(addrs))
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		w, err := dist.Dial(a)
+		if err != nil {
+			return nil, err
+		}
+		workers = append(workers, w)
+	}
+	return dist.NewCluster(workers, 0)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testCSV = `color,size,y
+red,1,0
+blue,2,1
+red,1,0
+blue,2,1
+green,3,0
+red,1,1
+blue,2,1
+green,3,0
+red,1,0
+blue,2,1
+`
+
+func TestLoadCSVClassification(t *testing.T) {
+	path := writeTemp(t, testCSV)
+	ds, e, err := loadCSV(path, "y", "class", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 10 || ds.NumFeatures() != 2 {
+		t.Fatalf("shape %dx%d, want 10x2", ds.NumRows(), ds.NumFeatures())
+	}
+	if len(e) != 10 {
+		t.Fatalf("error vector length %d", len(e))
+	}
+	for _, v := range e {
+		if v != 0 && v != 1 {
+			t.Fatalf("classification error %v not 0/1", v)
+		}
+	}
+}
+
+func TestLoadCSVRegression(t *testing.T) {
+	path := writeTemp(t, testCSV)
+	_, e, err := loadCSV(path, "y", "reg", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range e {
+		if v < 0 {
+			t.Fatalf("negative squared loss %v", v)
+		}
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	path := writeTemp(t, testCSV)
+	if _, _, err := loadCSV(path, "", "class", 5); err == nil {
+		t.Error("expected error for missing label")
+	}
+	if _, _, err := loadCSV(path, "y", "bogus", 5); err == nil {
+		t.Error("expected error for unknown task")
+	}
+	if _, _, err := loadCSV(filepath.Join(t.TempDir(), "missing.csv"), "y", "class", 5); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestLoadInputSynthetic(t *testing.T) {
+	ds, e, err := loadInput("salaries", "", "", "", 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 397 || len(e) != 397 {
+		t.Fatalf("salaries shape %d rows, %d errors", ds.NumRows(), len(e))
+	}
+}
+
+func TestLoadInputUnknown(t *testing.T) {
+	if _, _, err := loadInput("nope", "", "", "", 10, 0, 1); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+	if _, _, err := loadInput("", "", "", "", 10, 0, 1); err == nil {
+		t.Error("expected error when neither dataset nor csv given")
+	}
+}
+
+func TestDialClusterFailure(t *testing.T) {
+	if _, err := dialCluster([]string{"127.0.0.1:1"}); err == nil {
+		t.Error("expected dial error")
+	}
+	if _, err := dialCluster([]string{" ", ""}); err == nil {
+		t.Error("expected error for empty worker list")
+	}
+}

@@ -1,0 +1,106 @@
+// Command slreport produces a Markdown model-debugging report: dataset and
+// error summaries, the SliceLine top-K with per-slice drill-downs, the
+// non-overlapping decision-tree partition, and enumeration statistics.
+//
+// Usage:
+//
+//	slreport -dataset adult -k 5 > report.md
+//	slreport -csv data.csv -label y -task reg -tree=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sliceline/internal/datagen"
+	"sliceline/internal/frame"
+	"sliceline/internal/ml"
+	"sliceline/internal/report"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "", "synthetic dataset: salaries|adult|covtype|kdd98|uscensus|criteo")
+		rows     = flag.Int("rows", 0, "synthetic row count (0 = dataset default)")
+		csvPath  = flag.String("csv", "", "CSV file to load instead of a synthetic dataset")
+		label    = flag.String("label", "", "label column name for -csv")
+		task     = flag.String("task", "class", "model for -csv: class (mlogit) or reg (linear)")
+		bins     = flag.Int("bins", 10, "equi-width bins for continuous features")
+		k        = flag.Int("k", 5, "slices to report")
+		alpha    = flag.Float64("alpha", 0.95, "error/size weight")
+		maxLevel = flag.Int("maxlevel", 3, "maximum lattice level")
+		tree     = flag.Bool("tree", true, "include the decision-tree partition section")
+		seed     = flag.Int64("seed", 1, "synthetic dataset seed")
+	)
+	flag.Parse()
+
+	ds, errVec, err := load(*dataset, *csvPath, *label, *task, *bins, *rows, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slreport:", err)
+		os.Exit(1)
+	}
+	opt := report.Options{K: *k, Alpha: *alpha, MaxLevel: *maxLevel, IncludeTree: *tree}
+	if err := report.Generate(os.Stdout, ds, errVec, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "slreport:", err)
+		os.Exit(1)
+	}
+}
+
+func load(dataset, csvPath, label, task string, bins, rows int, seed int64) (*frame.Dataset, []float64, error) {
+	if csvPath != "" {
+		if label == "" {
+			return nil, nil, fmt.Errorf("-label is required with -csv")
+		}
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		fr, err := frame.ReadCSV(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds, err := frame.FromFrame(fr, label, bins)
+		if err != nil {
+			return nil, nil, err
+		}
+		enc, err := frame.OneHot(ds)
+		if err != nil {
+			return nil, nil, err
+		}
+		if task == "reg" {
+			m, err := ml.TrainLinReg(enc.X, ds.Y, ml.LinRegConfig{})
+			if err != nil {
+				return nil, nil, err
+			}
+			return ds, ml.SquaredLoss(ds.Y, m.Predict(enc.X)), nil
+		}
+		m, err := ml.TrainMlogit(enc.X, ds.Y, ml.MlogitConfig{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, ml.Inaccuracy(ds.Y, m.Predict(enc.X)), nil
+	}
+	var g *datagen.Generated
+	switch strings.ToLower(dataset) {
+	case "salaries":
+		g = datagen.Salaries(seed)
+	case "adult":
+		g = datagen.Adult(seed)
+	case "covtype":
+		g = datagen.Covtype(rows, seed)
+	case "kdd98":
+		g = datagen.KDD98(rows, seed)
+	case "uscensus":
+		g = datagen.USCensus(rows, seed)
+	case "criteo":
+		g = datagen.Criteo(rows, seed)
+	case "":
+		return nil, nil, fmt.Errorf("either -dataset or -csv is required")
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	return g.DS, g.Err, nil
+}

@@ -1,0 +1,34 @@
+// Command slworker runs a SliceLine evaluation worker: it serves row
+// partitions shipped by a driver (dist.Cluster with dist.Dial) and evaluates
+// broadcast slice candidates against them over gob-encoded RPC. Start one
+// per node, then point the driver at the addresses:
+//
+//	slworker -addr :7071 &
+//	slworker -addr :7072 &
+//	sliceline -dataset adult -workers localhost:7071,localhost:7072
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"sliceline/internal/dist"
+)
+
+func main() {
+	addr := flag.String("addr", ":7071", "listen address (host:port)")
+	flag.Parse()
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slworker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("slworker: serving on %s\n", lis.Addr())
+	if err := dist.Serve(lis); err != nil {
+		fmt.Fprintln(os.Stderr, "slworker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,37 @@
+// Package datasets exposes the deterministic synthetic datasets used by the
+// examples and benchmarks: stand-ins for the paper's evaluation datasets
+// (Table 1) with matching shapes, planted problematic slices, correlated
+// column groups, and heavy-tailed category frequencies. See DESIGN.md for
+// the substitution rationale.
+package datasets
+
+import "sliceline/internal/datagen"
+
+// Generated bundles a synthetic dataset with labels (DS.Y) for model
+// training and a pre-materialized error vector Err for enumeration-only
+// workloads.
+type Generated = datagen.Generated
+
+// Salaries returns the Salaries stand-in: 397 rows, 5 features, regression.
+func Salaries(seed int64) *Generated { return datagen.Salaries(seed) }
+
+// Adult returns the UCI-Adult stand-in: 32,561 rows, 14 features (l = 162),
+// 2-class.
+func Adult(seed int64) *Generated { return datagen.Adult(seed) }
+
+// Covtype returns the Covtype stand-in with n rows (0 = default): 54
+// features (l = 188) with correlated binary indicator groups, 7-class.
+func Covtype(n int, seed int64) *Generated { return datagen.Covtype(n, seed) }
+
+// KDD98 returns the KDD'98 stand-in with n rows (0 = default): 469 features
+// (l = 8,378), regression.
+func KDD98(n int, seed int64) *Generated { return datagen.KDD98(n, seed) }
+
+// USCensus returns the US Census 1990 stand-in with n rows (0 = default):
+// 68 features (l = 378) with correlated column groups, 4-class.
+func USCensus(n int, seed int64) *Generated { return datagen.USCensus(n, seed) }
+
+// Criteo returns the CriteoD21 stand-in with n rows (0 = default): 39
+// features one-hot encoding to roughly one million ultra-sparse columns,
+// 2-class.
+func Criteo(n int, seed int64) *Generated { return datagen.Criteo(n, seed) }

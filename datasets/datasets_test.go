@@ -1,0 +1,34 @@
+package datasets
+
+import "testing"
+
+func TestWrappersProduceValidDatasets(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() *Generated
+	}{
+		{"Salaries", func() *Generated { return Salaries(1) }},
+		{"Covtype", func() *Generated { return Covtype(500, 1) }},
+		{"KDD98", func() *Generated { return KDD98(300, 1) }},
+		{"USCensus", func() *Generated { return USCensus(500, 1) }},
+		{"Criteo", func() *Generated { return Criteo(500, 1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := c.gen()
+			if err := g.DS.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if len(g.Err) != g.DS.NumRows() {
+				t.Fatalf("error vector %d vs %d rows", len(g.Err), g.DS.NumRows())
+			}
+		})
+	}
+}
+
+func TestAdultWrapper(t *testing.T) {
+	g := Adult(1)
+	if g.DS.NumRows() != 32561 || g.DS.OneHotWidth() != 162 {
+		t.Fatalf("Adult shape %d/%d", g.DS.NumRows(), g.DS.OneHotWidth())
+	}
+}

@@ -1,0 +1,44 @@
+package sliceline_test
+
+import (
+	"fmt"
+	"strings"
+
+	"sliceline"
+)
+
+// ExampleRun demonstrates the full debugging loop on an inline CSV: encode,
+// score with a hand-provided error vector, enumerate, and print the worst
+// slice.
+func ExampleRun() {
+	const csvData = `city,plan,churned
+north,basic,0
+north,basic,0
+north,premium,0
+south,basic,1
+south,basic,1
+south,basic,1
+south,premium,0
+north,premium,0
+south,basic,1
+north,basic,0
+`
+	ds, err := sliceline.DatasetFromCSV(strings.NewReader(csvData), "churned", 10)
+	if err != nil {
+		panic(err)
+	}
+	// Suppose a model mispredicts exactly the south/basic customers: the
+	// error vector marks those rows.
+	e := make([]float64, ds.NumRows())
+	for i := range e {
+		if ds.Y[i] == 1 {
+			e[i] = 1
+		}
+	}
+	res, err := sliceline.Run(ds, e, sliceline.Config{K: 1, Sigma: 2, Alpha: 0.9})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.TopK[0])
+	// Output: [city=south AND plan=basic] score=1.2000 size=4 avgErr=1.0000
+}

@@ -1,0 +1,3 @@
+module sliceline
+
+go 1.22

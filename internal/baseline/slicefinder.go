@@ -1,0 +1,216 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"sliceline/internal/frame"
+)
+
+// Config holds the SliceFinder parameters.
+type Config struct {
+	// K is the number of slices to find; the search terminates level-wise
+	// once K slices are collected (the heuristic termination SliceLine
+	// criticizes for not guaranteeing the true top-K). <= 0 defaults to 4.
+	K int
+	// EffectSize is the minimum effect size threshold T. <= 0 defaults to
+	// 0.4.
+	EffectSize float64
+	// PValue is the significance level for Welch's t-test. <= 0 defaults to
+	// 0.05.
+	PValue float64
+	// MinSize is the minimum slice size. <= 0 defaults to max(32, n/100),
+	// aligned with SliceLine's support constraint for comparability.
+	MinSize int
+	// MaxLevel caps the number of literals per slice. <= 0 means the number
+	// of features.
+	MaxLevel int
+}
+
+// Slice is one result of the lattice search, ordered per the SliceFinder
+// paper by increasing number of literals, decreasing slice size, and
+// decreasing effect size.
+type Slice struct {
+	Predicates []Predicate
+	Size       int
+	AvgError   float64
+	EffectSize float64
+	PValue     float64
+}
+
+// Predicate is one literal F_j = v.
+type Predicate struct {
+	Feature int
+	Name    string
+	Value   int
+}
+
+func (p Predicate) String() string { return fmt.Sprintf("%s=%d", p.Name, p.Value) }
+
+// Result is the output of a SliceFinder search.
+type Result struct {
+	Slices    []Slice
+	Levels    int // lattice levels actually explored
+	Evaluated int // slices evaluated (for work comparison with SliceLine)
+}
+
+type sfSlice struct {
+	preds []Predicate
+	rows  []int // matching row ids (tid-list)
+}
+
+// Run performs the level-wise lattice search: at each level it evaluates all
+// extensions of the surviving slices, keeps those that are significant with
+// large effect size (recommendations), and terminates as soon as at least K
+// recommendations have been collected. Unlike SliceLine it offers no
+// optimality guarantee — slices deeper in the lattice can dominate everything
+// found so far and still be missed.
+func Run(ds *frame.Dataset, e []float64, cfg Config) (*Result, error) {
+	n := ds.NumRows()
+	if len(e) != n {
+		return nil, fmt.Errorf("baseline: error vector length %d vs %d rows", len(e), n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: empty dataset")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 4
+	}
+	if cfg.EffectSize <= 0 {
+		cfg.EffectSize = 0.4
+	}
+	if cfg.PValue <= 0 {
+		cfg.PValue = 0.05
+	}
+	if cfg.MinSize <= 0 {
+		cfg.MinSize = (n + 99) / 100
+		if cfg.MinSize < 32 {
+			cfg.MinSize = 32
+		}
+	}
+	m := ds.NumFeatures()
+	maxL := m
+	if cfg.MaxLevel > 0 && cfg.MaxLevel < maxL {
+		maxL = cfg.MaxLevel
+	}
+
+	totalSum, totalSq := 0.0, 0.0
+	for _, v := range e {
+		totalSum += v
+		totalSq += v * v
+	}
+
+	res := &Result{}
+	var found []Slice
+
+	// Level 1 candidates: all basic slices, materialized with tid-lists so
+	// extensions intersect incrementally (the hand-crafted single-worker
+	// lattice search the SliceFinder paper describes).
+	var frontier []sfSlice
+	for f := 0; f < m; f++ {
+		byVal := make([][]int, ds.Features[f].Domain+1)
+		for i := 0; i < n; i++ {
+			v := ds.X0.At(i, f)
+			byVal[v] = append(byVal[v], i)
+		}
+		for v := 1; v <= ds.Features[f].Domain; v++ {
+			if len(byVal[v]) == 0 {
+				continue
+			}
+			frontier = append(frontier, sfSlice{
+				preds: []Predicate{{Feature: f, Name: ds.Features[f].Name, Value: v}},
+				rows:  byVal[v],
+			})
+		}
+	}
+
+	for level := 1; level <= maxL && len(frontier) > 0; level++ {
+		res.Levels = level
+		var next []sfSlice
+		for _, s := range frontier {
+			res.Evaluated++
+			if len(s.rows) < cfg.MinSize {
+				continue
+			}
+			sum, sq := 0.0, 0.0
+			for _, i := range s.rows {
+				sum += e[i]
+				sq += e[i] * e[i]
+			}
+			n1 := len(s.rows)
+			n2 := n - n1
+			if n2 < 2 || n1 < 2 {
+				continue
+			}
+			m1 := sum / float64(n1)
+			v1 := (sq - sum*m1) / float64(n1-1)
+			m2 := (totalSum - sum) / float64(n2)
+			v2 := (totalSq - sq - (totalSum-sum)*m2) / float64(n2-1)
+			if v1 < 0 {
+				v1 = 0
+			}
+			if v2 < 0 {
+				v2 = 0
+			}
+			eff := effectSize(m1, v1, m2, v2)
+			t, df := welch(m1, v1, n1, m2, v2, n2)
+			p := tCDFUpper(t, df)
+			if eff >= cfg.EffectSize && p <= cfg.PValue {
+				found = append(found, Slice{
+					Predicates: s.preds,
+					Size:       n1,
+					AvgError:   m1,
+					EffectSize: eff,
+					PValue:     p,
+				})
+				continue // recommended slices are not expanded further
+			}
+			next = append(next, s)
+		}
+		// Level-wise termination: stop expanding once K slices are found.
+		if len(found) >= cfg.K {
+			break
+		}
+		frontier = expand(ds, next, level)
+	}
+
+	sort.Slice(found, func(i, j int) bool {
+		a, b := found[i], found[j]
+		if len(a.Predicates) != len(b.Predicates) {
+			return len(a.Predicates) < len(b.Predicates)
+		}
+		if a.Size != b.Size {
+			return a.Size > b.Size
+		}
+		return a.EffectSize > b.EffectSize
+	})
+	if len(found) > cfg.K {
+		found = found[:cfg.K]
+	}
+	res.Slices = found
+	return res, nil
+}
+
+// expand generates the next level by extending each surviving slice with
+// predicates on features strictly after its last literal (each conjunction
+// enumerated once).
+func expand(ds *frame.Dataset, cur []sfSlice, level int) []sfSlice {
+	var out []sfSlice
+	for _, s := range cur {
+		lastFeat := s.preds[len(s.preds)-1].Feature
+		for f := lastFeat + 1; f < ds.NumFeatures(); f++ {
+			byVal := make(map[int][]int)
+			for _, i := range s.rows {
+				v := ds.X0.At(i, f)
+				byVal[v] = append(byVal[v], i)
+			}
+			for v, rows := range byVal {
+				preds := make([]Predicate, len(s.preds), len(s.preds)+1)
+				copy(preds, s.preds)
+				preds = append(preds, Predicate{Feature: f, Name: ds.Features[f].Name, Value: v})
+				out = append(out, sfSlice{preds: preds, rows: rows})
+			}
+		}
+	}
+	return out
+}

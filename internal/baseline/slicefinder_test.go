@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"sliceline/internal/frame"
+)
+
+// plantedDataset returns a dataset where feature 0 = 1 AND feature 1 = 2
+// marks a clearly problematic slice.
+func plantedDataset(rng *rand.Rand, n int) (*frame.Dataset, []float64) {
+	ds := &frame.Dataset{
+		Name: "planted",
+		X0:   frame.NewIntMatrix(n, 3),
+		Features: []frame.Feature{
+			{Name: "f0", Domain: 3},
+			{Name: "f1", Domain: 3},
+			{Name: "f2", Domain: 2},
+		},
+	}
+	e := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			ds.X0.Set(i, j, 1+rng.Intn(ds.Features[j].Domain))
+		}
+		if ds.X0.At(i, 0) == 1 && ds.X0.At(i, 1) == 2 {
+			e[i] = 5 + rng.Float64()
+		} else {
+			e[i] = rng.Float64()
+		}
+	}
+	return ds, e
+}
+
+func TestSliceFinderFindsPlantedSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds, e := plantedDataset(rng, 2000)
+	res, err := Run(ds, e, Config{K: 4, MinSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slices) == 0 {
+		t.Fatal("no slices found")
+	}
+	// The planted conjunction (or an ancestor of it) must appear.
+	foundRelated := false
+	for _, s := range res.Slices {
+		for _, p := range s.Predicates {
+			if (p.Feature == 0 && p.Value == 1) || (p.Feature == 1 && p.Value == 2) {
+				foundRelated = true
+			}
+		}
+	}
+	if !foundRelated {
+		t.Fatalf("planted slice not found; got %+v", res.Slices)
+	}
+}
+
+func TestSliceFinderOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds, e := plantedDataset(rng, 2000)
+	res, err := Run(ds, e, Config{K: 8, MinSize: 20, EffectSize: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Slices); i++ {
+		a, b := res.Slices[i-1], res.Slices[i]
+		if len(a.Predicates) > len(b.Predicates) {
+			t.Fatal("not ordered by increasing literals")
+		}
+		if len(a.Predicates) == len(b.Predicates) && a.Size < b.Size {
+			t.Fatal("ties not ordered by decreasing size")
+		}
+	}
+}
+
+func TestSliceFinderRespectsMinSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds, e := plantedDataset(rng, 1000)
+	res, err := Run(ds, e, Config{K: 10, MinSize: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Slices {
+		if s.Size < 150 {
+			t.Fatalf("slice size %d below MinSize", s.Size)
+		}
+	}
+}
+
+func TestSliceFinderValidation(t *testing.T) {
+	ds := &frame.Dataset{Name: "d", X0: frame.NewIntMatrix(2, 1), Features: []frame.Feature{{Name: "f", Domain: 1}}}
+	ds.X0.Set(0, 0, 1)
+	ds.X0.Set(1, 0, 1)
+	if _, err := Run(ds, []float64{1}, Config{}); err == nil {
+		t.Error("expected error for mismatched error vector")
+	}
+	empty := &frame.Dataset{Name: "e", X0: frame.NewIntMatrix(0, 1), Features: []frame.Feature{{Name: "f", Domain: 1}}}
+	if _, err := Run(empty, nil, Config{}); err == nil {
+		t.Error("expected error for empty dataset")
+	}
+}
+
+func TestSliceFinderLevelwiseTermination(t *testing.T) {
+	// With a tiny K the search must stop at level 1 when enough basic
+	// slices qualify — the heuristic termination SliceLine improves on.
+	rng := rand.New(rand.NewSource(4))
+	ds, e := plantedDataset(rng, 3000)
+	res, err := Run(ds, e, Config{K: 1, MinSize: 20, EffectSize: 0.1, PValue: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slices) == 0 {
+		t.Fatal("expected at least one slice")
+	}
+	if res.Levels != 1 {
+		t.Fatalf("explored %d levels, want termination at level 1", res.Levels)
+	}
+}
+
+func TestSliceFinderStatsMatchScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds, e := plantedDataset(rng, 1500)
+	res, err := Run(ds, e, Config{K: 5, MinSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Slices {
+		size, sum := 0, 0.0
+		for i := 0; i < ds.NumRows(); i++ {
+			ok := true
+			for _, p := range s.Predicates {
+				if ds.X0.At(i, p.Feature) != p.Value {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				size++
+				sum += e[i]
+			}
+		}
+		if size != s.Size {
+			t.Fatalf("size %d, scan %d", s.Size, size)
+		}
+		if avg := sum / float64(size); avg < s.AvgError-1e-9 || avg > s.AvgError+1e-9 {
+			t.Fatalf("avg %v, scan %v", s.AvgError, avg)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package baseline implements the SliceFinder-style lattice search of Chung
+// et al. (ICDE'19 / TKDE'20), the closest prior work the paper positions
+// itself against: a heuristic level-wise search for slices with large effect
+// size whose error distribution differs significantly (Welch's t-test) from
+// the rest of the data, terminating level-wise once K slices are found. It
+// exists as the comparison point for the "ML systems comparison" experiment
+// and to contrast heuristic termination with SliceLine's exact enumeration.
+package baseline
+
+import "math"
+
+// welch computes Welch's t statistic and degrees of freedom for two samples
+// summarized by (mean, variance, count).
+func welch(m1, v1 float64, n1 int, m2, v2 float64, n2 int) (t, df float64) {
+	a := v1 / float64(n1)
+	b := v2 / float64(n2)
+	se := math.Sqrt(a + b)
+	if se == 0 {
+		if m1 == m2 {
+			return 0, 1
+		}
+		return math.Inf(1), 1
+	}
+	t = (m1 - m2) / se
+	den := a*a/float64(n1-1) + b*b/float64(n2-1)
+	if den == 0 {
+		df = float64(n1 + n2 - 2)
+	} else {
+		df = (a + b) * (a + b) / den
+	}
+	if df < 1 {
+		df = 1
+	}
+	return t, df
+}
+
+// effectSize computes the standardized difference of the two error
+// distributions (Cohen's d with pooled variance), the SliceFinder effect
+// size measure.
+func effectSize(m1, v1, m2, v2 float64) float64 {
+	pooled := math.Sqrt((v1 + v2) / 2)
+	if pooled == 0 {
+		if m1 == m2 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (m1 - m2) / pooled
+}
+
+// tCDFUpper returns P(T >= t) for Student's t distribution with df degrees
+// of freedom, via the regularized incomplete beta function.
+func tCDFUpper(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	if math.IsInf(t, -1) {
+		return 1
+	}
+	x := df / (df + t*t)
+	p := 0.5 * regIncBeta(df/2, 0.5, x)
+	if t < 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Lentz's method), following the
+// standard numerical-recipes formulation.
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	ln := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		tiny    = 1e-30
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

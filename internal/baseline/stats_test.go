@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if got := regIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v, want 0", got)
+	}
+	if got := regIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v, want 1", got)
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a)
+	for _, c := range []struct{ a, b, x float64 }{
+		{2, 3, 0.3}, {0.5, 0.5, 0.7}, {5, 1, 0.2}, {10, 10, 0.5},
+	} {
+		lhs := regIncBeta(c.a, c.b, c.x)
+		rhs := 1 - regIncBeta(c.b, c.a, 1-c.x)
+		if math.Abs(lhs-rhs) > 1e-12 {
+			t.Errorf("symmetry violated at %+v: %v vs %v", c, lhs, rhs)
+		}
+	}
+}
+
+func TestRegIncBetaUniformCase(t *testing.T) {
+	// I_x(1,1) = x (Beta(1,1) is uniform).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+}
+
+func TestTCDFKnownValues(t *testing.T) {
+	// Reference upper-tail values: t=0 → 0.5 for any df; large df approaches
+	// the normal distribution: P(T >= 1.96, df=1e6) ≈ 0.025.
+	if got := tCDFUpper(0, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(T>=0) = %v, want 0.5", got)
+	}
+	if got := tCDFUpper(1.96, 1e6); math.Abs(got-0.025) > 1e-4 {
+		t.Errorf("P(T>=1.96, df=1e6) = %v, want ≈ 0.025", got)
+	}
+	// df=1 (Cauchy): P(T >= 1) = 0.25 exactly.
+	if got := tCDFUpper(1, 1); math.Abs(got-0.25) > 1e-10 {
+		t.Errorf("P(T>=1, df=1) = %v, want 0.25", got)
+	}
+	// Monotone decreasing in t.
+	prev := 1.0
+	for _, tv := range []float64{-2, -1, 0, 1, 2, 5} {
+		p := tCDFUpper(tv, 7)
+		if p > prev {
+			t.Errorf("tCDFUpper not monotone at t=%v", tv)
+		}
+		prev = p
+	}
+}
+
+func TestWelchEqualSamples(t *testing.T) {
+	tt, df := welch(5, 1, 100, 5, 1, 100)
+	if tt != 0 {
+		t.Errorf("t = %v, want 0 for equal means", tt)
+	}
+	if df < 100 {
+		t.Errorf("df = %v, unexpectedly small", df)
+	}
+}
+
+func TestWelchZeroVariance(t *testing.T) {
+	tt, _ := welch(5, 0, 10, 3, 0, 10)
+	if !math.IsInf(tt, 1) {
+		t.Errorf("t = %v, want +Inf for zero variance different means", tt)
+	}
+	tt, _ = welch(5, 0, 10, 5, 0, 10)
+	if tt != 0 {
+		t.Errorf("t = %v, want 0 for identical degenerate samples", tt)
+	}
+}
+
+func TestEffectSize(t *testing.T) {
+	if got := effectSize(2, 1, 1, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("effect size = %v, want 1", got)
+	}
+	if got := effectSize(1, 0, 1, 0); got != 0 {
+		t.Errorf("degenerate equal = %v, want 0", got)
+	}
+	if got := effectSize(2, 0, 1, 0); !math.IsInf(got, 1) {
+		t.Errorf("degenerate different = %v, want +Inf", got)
+	}
+}

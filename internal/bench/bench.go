@@ -1,0 +1,88 @@
+// Package bench is the experiment harness: one registered experiment per
+// table and figure of the paper's evaluation (Section 5), each printing the
+// same rows/series the paper reports. Experiments run in quick mode
+// (reduced scales, suitable for CI) or full mode (the defaults documented in
+// DESIGN.md). EXPERIMENTS.md records paper-vs-measured for every entry.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// Options controls experiment execution.
+type Options struct {
+	Quick bool  // reduced dataset scales and sweeps
+	Seed  int64 // dataset generation seed (0 = 1)
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // which table/figure of the paper this regenerates
+	Run   func(w io.Writer, opt Options) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments in registration order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes every experiment, writing a header per experiment.
+func RunAll(w io.Writer, opt Options) error {
+	for _, e := range registry {
+		fmt.Fprintf(w, "\n=== %s — %s (%s) ===\n", e.ID, e.Title, e.Paper)
+		start := time.Now()
+		if err := e.Run(w, opt); err != nil {
+			return fmt.Errorf("bench: experiment %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// table returns a tabwriter for aligned experiment output.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"sliceline/internal/datagen"
+)
+
+// Dataset scales per mode. Full mode uses the DESIGN.md defaults; quick mode
+// shrinks rows so the whole suite runs in a couple of minutes on one core.
+type scales struct {
+	adult, covtype, kdd98, uscensus, criteo int
+}
+
+func scaleFor(opt Options) scales {
+	if opt.Quick {
+		return scales{adult: 8000, covtype: 6000, kdd98: 1500, uscensus: 6000, criteo: 30000}
+	}
+	return scales{
+		adult:    datagen.AdultRows,
+		covtype:  datagen.CovtypeRows,
+		kdd98:    datagen.KDD98Rows,
+		uscensus: datagen.USCensusRows,
+		criteo:   datagen.CriteoRows,
+	}
+}
+
+// adultGen generates the Adult stand-in, truncated to n rows in quick mode.
+func adultGen(opt Options) *datagen.Generated {
+	g := datagen.Adult(opt.seed())
+	sc := scaleFor(opt)
+	if sc.adult < g.DS.NumRows() {
+		g = truncate(g, sc.adult)
+	}
+	return g
+}
+
+// truncate keeps the first n rows of a generated dataset.
+func truncate(g *datagen.Generated, n int) *datagen.Generated {
+	train, _ := g.DS.Split(n)
+	train.Name = g.DS.Name
+	return &datagen.Generated{DS: train, Err: g.Err[:n], Task: g.Task}
+}

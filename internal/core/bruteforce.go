@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"sliceline/internal/frame"
+)
+
+// BruteForce exhaustively enumerates the entire slice lattice by depth-first
+// search over feature/value assignments and returns the exact top-K under
+// the constraints of Definition 2. It visits every one of the
+// O(prod_j (d_j + 1)) slices with a full data scan each, so it is only
+// feasible for tiny inputs — it exists as the ground truth that the pruned
+// linear-algebra enumerator is checked against (SliceLine's headline claim
+// is exactness), and as the unpruned baseline of the ablation study.
+func BruteForce(ds *frame.Dataset, e []float64, cfg Config) ([]Slice, error) {
+	n := ds.NumRows()
+	if len(e) != n {
+		return nil, fmt.Errorf("core: error vector length %d vs %d rows", len(e), n)
+	}
+	cfg = cfg.withDefaults(n)
+	maxL := ds.NumFeatures()
+	if cfg.MaxLevel > 0 && cfg.MaxLevel < maxL {
+		maxL = cfg.MaxLevel
+	}
+	sc := newScorer(n, e, cfg.Alpha, cfg.Sigma)
+
+	type pred struct{ feat, val int }
+	var cur []pred
+	best := newBruteTopK(cfg.K)
+
+	var visit func(startFeat int)
+	visit = func(startFeat int) {
+		if len(cur) > 0 {
+			ss, se, sm := 0.0, 0.0, 0.0
+			for i := 0; i < n; i++ {
+				row := ds.X0.Row(i)
+				match := true
+				for _, p := range cur {
+					if row[p.feat] != p.val {
+						match = false
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+				ss++
+				se += e[i]
+				if e[i] > sm {
+					sm = e[i]
+				}
+			}
+			score := sc.score(ss, se)
+			if score > 0 && ss >= float64(cfg.Sigma) {
+				preds := make([]Predicate, len(cur))
+				for k, p := range cur {
+					preds[k] = Predicate{Feature: p.feat, Value: p.val, Name: ds.Features[p.feat].Name}
+					if p.val-1 < len(ds.Features[p.feat].Labels) {
+						preds[k].Label = ds.Features[p.feat].Labels[p.val-1]
+					}
+				}
+				best.offer(Slice{
+					Predicates: preds,
+					Score:      score,
+					Size:       int(ss),
+					TotalError: se,
+					MaxError:   sm,
+					AvgError:   se / ss,
+				})
+			}
+		}
+		if len(cur) == maxL {
+			return
+		}
+		for f := startFeat; f < ds.NumFeatures(); f++ {
+			for v := 1; v <= ds.Features[f].Domain; v++ {
+				cur = append(cur, pred{feat: f, val: v})
+				visit(f + 1)
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	visit(0)
+	return best.slices, nil
+}
+
+// bruteTopK keeps the best K slices ordered by score descending with the
+// same tie-breaking as the main enumerator (larger slices first).
+type bruteTopK struct {
+	k      int
+	slices []Slice
+}
+
+func newBruteTopK(k int) *bruteTopK { return &bruteTopK{k: k} }
+
+func (b *bruteTopK) offer(s Slice) {
+	pos := len(b.slices)
+	for i, o := range b.slices {
+		if s.Score > o.Score || (s.Score == o.Score && s.Size > o.Size) {
+			pos = i
+			break
+		}
+	}
+	if pos == b.k {
+		return
+	}
+	b.slices = append(b.slices, Slice{})
+	copy(b.slices[pos+1:], b.slices[pos:])
+	b.slices[pos] = s
+	if len(b.slices) > b.k {
+		b.slices = b.slices[:b.k]
+	}
+}

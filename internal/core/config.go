@@ -1,0 +1,196 @@
+// Package core implements SliceLine's exact top-K slice-finding algorithm
+// (Algorithm 1 of the paper): score-based problem formulation (Section 2),
+// upper bounds and pruning (Section 3), and linear-algebra level-wise
+// enumeration with vectorized slice evaluation (Section 4). All candidate
+// generation and evaluation is expressed over the sparse one-hot matrices of
+// package frame using the kernels of package matrix.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Default parameter values from the paper (Algorithm 1 header and §5.2).
+const (
+	DefaultK         = 4
+	DefaultAlpha     = 0.95
+	DefaultBlockSize = 16
+	minSupportFloor  = 32
+)
+
+// Config holds the SliceLine parameters and the ablation switches used by
+// the pruning study (Figure 3).
+type Config struct {
+	// K is the number of top slices to return. <= 0 defaults to 4.
+	K int
+	// Sigma is the minimum support |S| >= sigma. <= 0 defaults to
+	// max(32, ceil(n/100)), the paper's default.
+	Sigma int
+	// Alpha in (0,1] weights average slice error against slice size.
+	// <= 0 defaults to 0.95, the paper's experimental default.
+	Alpha float64
+	// MaxLevel caps the lattice level (the paper's ⌈L⌉). <= 0 means
+	// unbounded, i.e. min(m, ...) terminates the loop.
+	MaxLevel int
+	// BlockSize is the hybrid evaluation block size b of Section 4.4:
+	// 1 is pure task-parallel, nrow(S) is pure data-parallel, and the
+	// paper's experiments default to 16. <= 0 selects an automatic size
+	// that balances scan sharing against parallelism: roughly
+	// nrow(S)/(4*workers), at least 16.
+	BlockSize int
+
+	// Ablation switches (Figure 3). The zero value enables everything.
+	DisableSizePruning    bool // drop ⌈ss⌉ >= σ candidate pruning and σ input filtering
+	DisableScorePruning   bool // drop ⌈sc⌉ > sc_k and ⌈sc⌉ >= 0 pruning
+	DisableParentHandling bool // drop the np == L missing-parent pruning
+	DisableDedup          bool // keep duplicate pair-candidates (config 5)
+
+	// MaxCandidatesPerLevel aborts enumeration when a level would evaluate
+	// more candidates than this bound, instead of exhausting memory — the
+	// paper's unpruned configs "ran out-of-memory after 4 levels". <= 0
+	// defaults to 2 million.
+	MaxCandidatesPerLevel int
+
+	// PriorityEnumeration evaluates each level's candidates in descending
+	// order of their score upper bound, in chunks, re-pruning the remaining
+	// candidates with the improved top-K threshold between chunks. This
+	// implements the paper's proposed future-work direction of
+	// priority-based enumeration (Section 7) inside the level-wise
+	// framework; results are identical, only less work may be done.
+	PriorityEnumeration bool
+
+	// DenseEval materializes the X·Sᵀ product and indicator I as dense
+	// chunked intermediates instead of using the fused sparse kernel,
+	// modelling ML systems with limited sparse-operation support (the
+	// kernel-quality comparison of Section 5.4). Off by default.
+	DenseEval bool
+
+	// Evaluator, when non-nil, delegates slice evaluation — for example to
+	// the distributed backends of package dist. The enumeration, pruning
+	// and top-K logic stay on the driver.
+	Evaluator ExternalEvaluator
+
+	// OnLevel, when non-nil, is invoked after each lattice level completes
+	// with that level's statistics — progress reporting for long
+	// enumerations. It runs synchronously on the enumeration goroutine.
+	OnLevel func(LevelStats)
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.K <= 0 {
+		c.K = DefaultK
+	}
+	if c.Sigma <= 0 {
+		c.Sigma = (n + 99) / 100
+		if c.Sigma < minSupportFloor {
+			c.Sigma = minSupportFloor
+		}
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Alpha > 1 {
+		c.Alpha = 1
+	}
+	// BlockSize <= 0 means auto; resolved per level in evalSlices.
+	if c.MaxCandidatesPerLevel <= 0 {
+		c.MaxCandidatesPerLevel = 2_000_000
+	}
+	return c
+}
+
+// Predicate is one equivalence predicate F_j = v of a slice.
+type Predicate struct {
+	Feature int    // original feature index (0-based)
+	Name    string // feature name
+	Value   int    // 1-based integer code
+	Label   string // decoded category/bin label when available
+}
+
+func (p Predicate) String() string {
+	if p.Label != "" {
+		return fmt.Sprintf("%s=%s", p.Name, p.Label)
+	}
+	return fmt.Sprintf("%s=%d", p.Name, p.Value)
+}
+
+// Slice is one result slice with its statistics (the paper's TS/TR rows).
+type Slice struct {
+	Predicates []Predicate
+	Score      float64
+	Size       int     // |S|
+	TotalError float64 // se
+	MaxError   float64 // sm
+	AvgError   float64 // se / |S|
+}
+
+func (s Slice) String() string {
+	out := ""
+	for i, p := range s.Predicates {
+		if i > 0 {
+			out += " AND "
+		}
+		out += p.String()
+	}
+	return fmt.Sprintf("[%s] score=%.4f size=%d avgErr=%.4f", out, s.Score, s.Size, s.AvgError)
+}
+
+// LevelStats records the enumeration characteristics of one lattice level,
+// the quantities plotted in Figures 3/4 and Table 2.
+type LevelStats struct {
+	Level      int
+	Candidates int           // slices evaluated at this level
+	Valid      int           // evaluated slices with |S| >= sigma and se > 0
+	Pruned     int           // pair-candidates removed before evaluation
+	Elapsed    time.Duration // cumulative elapsed time through this level
+}
+
+// Result is the output of a SliceLine run.
+type Result struct {
+	TopK      []Slice
+	Levels    []LevelStats
+	N         int     // dataset rows
+	AvgError  float64 // ē
+	Sigma     int
+	Alpha     float64
+	Elapsed   time.Duration
+	Truncated bool // true if MaxCandidatesPerLevel aborted enumeration
+}
+
+// TotalCandidates sums evaluated candidates over all levels.
+func (r *Result) TotalCandidates() int {
+	total := 0
+	for _, l := range r.Levels {
+		total += l.Candidates
+	}
+	return total
+}
+
+// TS returns the top-K slices in the paper's output format: a K×m
+// integer-encoded matrix with one row per slice where zeros mark free
+// features and non-zero entries are the 1-based value codes. m is the
+// original feature count.
+func (r *Result) TS(m int) [][]int {
+	out := make([][]int, len(r.TopK))
+	for i, s := range r.TopK {
+		row := make([]int, m)
+		for _, p := range s.Predicates {
+			if p.Feature >= 0 && p.Feature < m {
+				row[p.Feature] = p.Value
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TR returns the aligned slice statistics in the paper's column order:
+// score, total error, max error, size — one row per top-K slice.
+func (r *Result) TR() [][4]float64 {
+	out := make([][4]float64, len(r.TopK))
+	for i, s := range r.TopK {
+		out[i] = [4]float64{s.Score, s.TotalError, s.MaxError, float64(s.Size)}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package core
+
+import "sliceline/internal/frame"
+
+// decode converts the internal top-K entries (reduced-column lists) into
+// user-facing Slices with named predicates, the DECODETOPK step of
+// Algorithm 1.
+func (st *state) decode(tk *topK, feats []frame.Feature) []Slice {
+	out := make([]Slice, 0, len(tk.entries))
+	for _, e := range tk.entries {
+		s := Slice{
+			Score:      e.score,
+			Size:       int(e.ss),
+			TotalError: e.se,
+			MaxError:   e.sm,
+		}
+		if e.ss > 0 {
+			s.AvgError = e.se / e.ss
+		}
+		for _, c := range e.cols {
+			f := st.featOf[c]
+			v := st.valOf[c]
+			p := Predicate{Feature: f, Value: v}
+			if f < len(feats) {
+				p.Name = feats[f].Name
+				if v-1 < len(feats[f].Labels) {
+					p.Label = feats[f].Labels[v-1]
+				}
+			}
+			s.Predicates = append(s.Predicates, p)
+		}
+		out = append(out, s)
+	}
+	return out
+}

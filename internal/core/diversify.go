@@ -1,0 +1,58 @@
+package core
+
+import "sliceline/internal/frame"
+
+// Diversify greedily filters a score-ordered slice list so that no kept
+// slice's row set has Jaccard similarity above maxJaccard with any earlier
+// kept slice. Because the lattice allows overlapping slices, the raw top-K
+// is often dominated by near-duplicates of one problematic subgroup (a
+// parent plus its refinements, or copies induced by correlated features);
+// diversification surfaces distinct problems instead. maxJaccard in [0, 1):
+// 0 keeps only disjoint slices, values around 0.5 drop refinements that
+// mostly repeat a kept slice.
+func Diversify(ds *frame.Dataset, slices []Slice, maxJaccard float64) ([]Slice, error) {
+	var kept []Slice
+	var keptRows [][]int
+	for _, s := range slices {
+		rows, err := SliceRows(ds, s)
+		if err != nil {
+			return nil, err
+		}
+		dominated := false
+		for _, prev := range keptRows {
+			if jaccard(rows, prev) > maxJaccard {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		kept = append(kept, s)
+		keptRows = append(keptRows, rows)
+	}
+	return kept, nil
+}
+
+// jaccard computes |a ∩ b| / |a ∪ b| for two sorted index sets.
+func jaccard(a, b []int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

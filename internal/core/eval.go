@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"sliceline/internal/matrix"
+)
+
+// ExternalEvaluator evaluates slice candidates against the (reduced) one-hot
+// dataset on behalf of the enumeration loop. Implementations may distribute
+// the evaluation (package dist ships row-partitioned local and TCP-based
+// backends). Setup is called once per run with the reduced matrix and error
+// vector before any Eval call.
+type ExternalEvaluator interface {
+	Setup(x *matrix.CSR, e []float64) error
+	// Eval returns, per candidate (a sorted list of reduced one-hot
+	// columns), the slice size, total error and maximum tuple error.
+	Eval(cols [][]int, level int) (ss, se, sm []float64, err error)
+}
+
+// evalSlices evaluates all level-L candidates against the reduced one-hot
+// matrix, the vectorized evaluation of Section 4.4 / Equation 10:
+//
+//	I  = ((X Sᵀ) = L)
+//	ss = colSums(I)   se = (eᵀ I)ᵀ   sm = colMaxs(I · e)
+//
+// The implementation is the fused, hybrid-parallel form: slices are grouped
+// into blocks of cfg.BlockSize (b=1 reproduces the task-parallel plan of
+// Algorithm 1 lines 16-18, b=nrow(S) the data-parallel plan), each block
+// scans X once and counts predicate matches through a per-block inverted
+// column index, never materializing the n × nrow(S) indicator I.
+func (st *state) evalSlices(lv *level, L int) error {
+	nSlices := lv.size()
+	if nSlices == 0 {
+		return nil
+	}
+	switch {
+	case st.eval != nil:
+		ss, se, sm, err := st.eval.Eval(lv.cols, L)
+		if err != nil {
+			return err
+		}
+		if len(ss) != nSlices || len(se) != nSlices || len(sm) != nSlices {
+			return fmt.Errorf("core: evaluator returned %d/%d/%d statistics for %d candidates",
+				len(ss), len(se), len(sm), nSlices)
+		}
+		copy(lv.ss, ss)
+		copy(lv.se, se)
+		copy(lv.sm, sm)
+	case st.cfg.DenseEval:
+		st.evalDense(lv, L)
+	default:
+		EvalPartitionWeighted(st.x, st.e, st.w, lv.cols, L, st.cfg.BlockSize, lv.ss, lv.se, lv.sm)
+	}
+	for i := 0; i < nSlices; i++ {
+		lv.sc[i] = st.sc.score(lv.ss[i], lv.se[i])
+	}
+	return nil
+}
+
+// EvalPartition evaluates candidates against one row partition of the
+// one-hot matrix, accumulating into ss/se/sm (callers pass zeroed slices of
+// length len(cols)). blockSize <= 0 selects the automatic size. It is the
+// kernel shared by the local evaluator and the distributed workers.
+func EvalPartition(x *matrix.CSR, e []float64, cols [][]int, level, blockSize int, ss, se, sm []float64) {
+	EvalPartitionWeighted(x, e, nil, cols, level, blockSize, ss, se, sm)
+}
+
+// EvalPartitionWeighted is EvalPartition with optional row weights: row i
+// contributes w[i] to slice sizes and w[i]·e[i] to slice errors (nil w means
+// unit weights). The maximum tuple error sm is weight-independent.
+func EvalPartitionWeighted(x *matrix.CSR, e, w []float64, cols [][]int, level, blockSize int, ss, se, sm []float64) {
+	nSlices := len(cols)
+	if nSlices == 0 {
+		return
+	}
+	b := blockSize
+	if b <= 0 {
+		// Auto: one scan of X per block is the dominant cost, so prefer few
+		// large blocks while leaving enough blocks to keep all workers busy.
+		b = (nSlices + 4*matrix.MaxWorkers() - 1) / (4 * matrix.MaxWorkers())
+		if b < DefaultBlockSize {
+			b = DefaultBlockSize
+		}
+	}
+	if b > nSlices {
+		b = nSlices
+	}
+	nBlocks := (nSlices + b - 1) / b
+	if nBlocks == 1 {
+		evalBlockRowParallel(x, e, w, cols, level, 0, nSlices, ss, se, sm)
+		return
+	}
+	matrix.ParallelFor(nBlocks, func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			s0 := blk * b
+			s1 := s0 + b
+			if s1 > nSlices {
+				s1 = nSlices
+			}
+			evalBlockSerial(x, e, w, cols, level, s0, s1, ss, se, sm)
+		}
+	})
+}
+
+// blockIndex is the inverted index of one evaluation block: for each reduced
+// column, the block-local ids of slices whose definition contains it.
+type blockIndex struct {
+	postings [][]int32
+	touched  []int32
+	counts   []int32
+}
+
+func buildBlockIndex(nCols int, cols [][]int, s0, s1 int) *blockIndex {
+	bi := &blockIndex{
+		postings: make([][]int32, nCols),
+		counts:   make([]int32, s1-s0),
+	}
+	for s := s0; s < s1; s++ {
+		for _, c := range cols[s] {
+			bi.postings[c] = append(bi.postings[c], int32(s-s0))
+		}
+	}
+	return bi
+}
+
+// scanRow streams one row of X through the index, incrementing per-slice
+// match counters and recording which slices were touched.
+func (bi *blockIndex) scanRow(cols []int) {
+	for _, c := range cols {
+		for _, s := range bi.postings[c] {
+			if bi.counts[s] == 0 {
+				bi.touched = append(bi.touched, s)
+			}
+			bi.counts[s]++
+		}
+	}
+}
+
+// evalBlockSerial scans the full partition once for slices [s0,s1), serially.
+func evalBlockSerial(x *matrix.CSR, e, w []float64, cols [][]int, L, s0, s1 int, ss, se, sm []float64) {
+	bi := buildBlockIndex(x.Cols(), cols, s0, s1)
+	n := x.Rows()
+	want := int32(L)
+	for i := 0; i < n; i++ {
+		rowCols, _ := x.RowEntries(i)
+		bi.scanRow(rowCols)
+		ei := e[i]
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		for _, s := range bi.touched {
+			if bi.counts[s] == want {
+				g := int(s) + s0
+				ss[g] += wi
+				se[g] += wi * ei
+				if ei > sm[g] {
+					sm[g] = ei
+				}
+			}
+			bi.counts[s] = 0
+		}
+		bi.touched = bi.touched[:0]
+	}
+}
+
+// evalBlockRowParallel evaluates one block with row-partitioned parallelism
+// (the data-parallel plan: rows of X are scanned concurrently and per-worker
+// partial statistics are merged), used when all slices fit a single block.
+func evalBlockRowParallel(x *matrix.CSR, e, w []float64, cols [][]int, L, s0, s1 int, ss, se, sm []float64) {
+	width := s1 - s0
+	workers := matrix.MaxWorkers()
+	type partial struct {
+		ss, se, sm []float64
+	}
+	results := make(chan partial, workers+1)
+	n := x.Rows()
+	want := int32(L)
+	matrix.ParallelFor(n, func(lo, hi int) {
+		bi := buildBlockIndex(x.Cols(), cols, s0, s1)
+		p := partial{
+			ss: make([]float64, width),
+			se: make([]float64, width),
+			sm: make([]float64, width),
+		}
+		for i := lo; i < hi; i++ {
+			rowCols, _ := x.RowEntries(i)
+			bi.scanRow(rowCols)
+			ei := e[i]
+			wi := 1.0
+			if w != nil {
+				wi = w[i]
+			}
+			for _, s := range bi.touched {
+				if bi.counts[s] == want {
+					p.ss[s] += wi
+					p.se[s] += wi * ei
+					if ei > p.sm[s] {
+						p.sm[s] = ei
+					}
+				}
+				bi.counts[s] = 0
+			}
+			bi.touched = bi.touched[:0]
+		}
+		results <- p
+	})
+	close(results)
+	for p := range results {
+		for s := 0; s < width; s++ {
+			g := s + s0
+			ss[g] += p.ss[s]
+			se[g] += p.se[s]
+			if p.sm[s] > sm[g] {
+				sm[g] = p.sm[s]
+			}
+		}
+	}
+}
+
+// evalDense evaluates candidates by materializing the X·Sᵀ product and the
+// 0/1 indicator I densely in column chunks, mimicking ML systems with
+// limited sparsity exploitation across operations (the concern Section 4.4
+// raises). It exists for the kernel-quality comparison experiment; the
+// fused kernel above is the production path.
+func (st *state) evalDense(lv *level, L int) {
+	const chunk = 512
+	n := st.x.Rows()
+	for s0 := 0; s0 < lv.size(); s0 += chunk {
+		s1 := s0 + chunk
+		if s1 > lv.size() {
+			s1 = lv.size()
+		}
+		// Materialize S for the chunk as CSR, then XSᵀ densely.
+		var ts []matrix.Triple
+		for s := s0; s < s1; s++ {
+			for _, c := range lv.cols[s] {
+				ts = append(ts, matrix.Triple{Row: s - s0, Col: c, Val: 1})
+			}
+		}
+		sMat := matrix.CSRFromTriples(s1-s0, st.x.Cols(), ts)
+		prod := matrix.MulCSRT(st.x, sMat)       // n × chunk dense
+		ind := matrix.EqScalar(prod, float64(L)) // I = ((X Sᵀ) = L)
+		var ssC, seC []float64
+		if st.w == nil {
+			ssC = matrix.ColSums(ind)          // ss = colSums(I)
+			seC = matrix.MatVec(ind.T(), st.e) // se = (eᵀ I)ᵀ
+		} else {
+			ssC = matrix.MatVec(ind.T(), st.w)
+			we := make([]float64, len(st.e))
+			for i := range we {
+				we[i] = st.w[i] * st.e[i]
+			}
+			seC = matrix.MatVec(ind.T(), we)
+		}
+		smC := matrix.ColMaxs(matrix.ScaleRows(ind, st.e))
+		for s := s0; s < s1; s++ {
+			lv.ss[s] = ssC[s-s0]
+			lv.se[s] = seC[s-s0]
+			lv.sm[s] = smC[s-s0]
+		}
+		_ = n
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+
+	"sliceline/internal/frame"
+)
+
+// SliceRows returns the indices of all dataset rows belonging to the slice,
+// in ascending order. Model debugging workflows use this to inspect the
+// offending tuples, source additional data for the subgroup, or route the
+// subgroup to a specialized model.
+func SliceRows(ds *frame.Dataset, s Slice) ([]int, error) {
+	for _, p := range s.Predicates {
+		if p.Feature < 0 || p.Feature >= ds.NumFeatures() {
+			return nil, fmt.Errorf("core: predicate feature %d out of range [0,%d)", p.Feature, ds.NumFeatures())
+		}
+		if p.Value < 1 || p.Value > ds.Features[p.Feature].Domain {
+			return nil, fmt.Errorf("core: predicate value %d out of domain [1,%d] for feature %q",
+				p.Value, ds.Features[p.Feature].Domain, ds.Features[p.Feature].Name)
+		}
+	}
+	var rows []int
+	for i := 0; i < ds.NumRows(); i++ {
+		match := true
+		for _, p := range s.Predicates {
+			if ds.X0.At(i, p.Feature) != p.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			rows = append(rows, i)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import "math"
+
+// scorer evaluates the paper's scoring function (Equation 1/5) and its upper
+// bound (Equation 3). All quantities are kept as float64 for direct use in
+// the vectorized kernels.
+type scorer struct {
+	n        float64 // dataset rows
+	totalErr float64 // sum(e)
+	avgErr   float64 // ē = sum(e)/n
+	alpha    float64
+	sigma    float64
+}
+
+func newScorer(n int, e []float64, alpha float64, sigma int) scorer {
+	total := 0.0
+	for _, v := range e {
+		total += v
+	}
+	s := scorer{
+		n:        float64(n),
+		totalErr: total,
+		alpha:    alpha,
+		sigma:    float64(sigma),
+	}
+	if n > 0 {
+		s.avgErr = total / float64(n)
+	}
+	return s
+}
+
+// newWeightedScorer treats row i as w[i] identical rows: n = Σw and the
+// total error is Σ w_i·e_i.
+func newWeightedScorer(e, w []float64, alpha float64, sigma int) scorer {
+	totalW, totalErr := 0.0, 0.0
+	for i, v := range e {
+		totalW += w[i]
+		totalErr += w[i] * v
+	}
+	s := scorer{
+		n:        totalW,
+		totalErr: totalErr,
+		alpha:    alpha,
+		sigma:    float64(sigma),
+	}
+	if totalW > 0 {
+		s.avgErr = totalErr / totalW
+	}
+	return s
+}
+
+// score computes sc = α((se/|S|)/ē − 1) − (1−α)(n/|S| − 1) for a slice with
+// size ss and total error se. Empty slices score an (arbitrarily) large
+// negative value, per the paper's footnote.
+func (s scorer) score(ss, se float64) float64 {
+	if ss <= 0 {
+		return -math.MaxFloat64
+	}
+	if s.avgErr == 0 {
+		// A perfect model has no problematic slices; every score is the pure
+		// size penalty, which is <= 0.
+		return -(1 - s.alpha) * (s.n/ss - 1)
+	}
+	return s.alpha*((se/ss)/s.avgErr-1) - (1-s.alpha)*(s.n/ss-1)
+}
+
+// scoreAt evaluates the upper-bound objective of Equation 3 at a fixed slice
+// size sz, with the error bound ⌈se⌉ = min(seUB, sz·smUB).
+func (s scorer) scoreAt(sz, seUB, smUB float64) float64 {
+	if sz <= 0 {
+		return -math.MaxFloat64
+	}
+	se := seUB
+	if cap := sz * smUB; cap < se {
+		se = cap
+	}
+	return s.score(sz, se)
+}
+
+// upperBound computes ⌈sc⌉ per Equation 3: the maximum of the bound
+// objective over |S| ∈ [σ, ssUB], with ⌈se⌉ = min(seUB, |S|·smUB) and ssUB,
+// seUB, smUB the minima over all enumerated parents. The objective is
+// piecewise monotone in |S| with a single breakpoint at seUB/smUB, so the
+// maximum is attained at σ, at the (clamped) breakpoint, or at ssUB — the
+// three "interesting points" of Section 3.1.
+func (s scorer) upperBound(ssUB, seUB, smUB float64) float64 {
+	if ssUB < s.sigma {
+		// No feasible size: any child violates the support constraint.
+		return -math.MaxFloat64
+	}
+	best := s.scoreAt(s.sigma, seUB, smUB)
+	if smUB > 0 {
+		bp := seUB / smUB
+		if bp < s.sigma {
+			bp = s.sigma
+		}
+		if bp > ssUB {
+			bp = ssUB
+		}
+		if v := s.scoreAt(bp, seUB, smUB); v > best {
+			best = v
+		}
+	}
+	if v := s.scoreAt(ssUB, seUB, smUB); v > best {
+		best = v
+	}
+	return best
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sliceline/internal/frame"
+	"sliceline/internal/matrix"
+)
+
+// level holds the enumerated slices of one lattice level in the reduced
+// one-hot column space: per slice its sorted column list and evaluated
+// statistics (the paper's S and R = [sc, se, sm, ss]).
+type level struct {
+	cols [][]int
+	sc   []float64
+	se   []float64
+	sm   []float64
+	ss   []float64
+	ub   []float64 // score upper bounds, only under PriorityEnumeration
+}
+
+func (l *level) size() int { return len(l.cols) }
+
+// state carries the immutable inputs of one enumeration run.
+type state struct {
+	cfg    Config
+	sc     scorer
+	x      *matrix.CSR // reduced one-hot matrix, n × l'
+	e      []float64
+	w      []float64 // optional row weights (nil = unit weights)
+	featOf []int     // original feature per reduced column
+	valOf  []int     // 1-based value code per reduced column
+	m      int       // original feature count
+	eval   ExternalEvaluator
+}
+
+// Run executes SliceLine (Algorithm 1) on an integer-encoded dataset and a
+// row-aligned non-negative error vector e, returning the top-K slices and
+// per-level enumeration statistics. The error vector typically comes from
+// ml.SquaredLoss or ml.Inaccuracy applied to a trained model's predictions.
+func Run(ds *frame.Dataset, e []float64, cfg Config) (*Result, error) {
+	enc, err := frame.OneHot(ds)
+	if err != nil {
+		return nil, err
+	}
+	return RunEncoded(enc, ds.Features, e, cfg)
+}
+
+// RunEncoded is Run for callers that already hold the one-hot encoding,
+// avoiding re-encoding across parameter sweeps. feats supplies names and
+// decode labels for the result; it must align with the encoding.
+func RunEncoded(enc *frame.Encoding, feats []frame.Feature, e []float64, cfg Config) (*Result, error) {
+	return runEncoded(enc, feats, e, nil, cfg)
+}
+
+// RunWeighted is Run for datasets with row weights: row i counts as w[i]
+// identical rows in every size and error aggregate, so a dataset with
+// duplicate rows can be deduplicated into (unique rows, weights) and
+// produces exactly the same top-K as its expanded form — useful for the
+// row-replication scaling setting of Figure 7(a) and for heavily skewed
+// production data. Weights must be positive; non-integer weights are
+// permitted (Slice.Size then reports the truncated weighted size).
+func RunWeighted(ds *frame.Dataset, e, w []float64, cfg Config) (*Result, error) {
+	enc, err := frame.OneHot(ds)
+	if err != nil {
+		return nil, err
+	}
+	return runEncoded(enc, ds.Features, e, w, cfg)
+}
+
+func runEncoded(enc *frame.Encoding, feats []frame.Feature, e, w []float64, cfg Config) (*Result, error) {
+	n := enc.X.Rows()
+	if len(e) != n {
+		return nil, fmt.Errorf("core: error vector length %d vs %d rows", len(e), n)
+	}
+	if w != nil {
+		if len(w) != n {
+			return nil, fmt.Errorf("core: weight vector length %d vs %d rows", len(w), n)
+		}
+		for i, v := range w {
+			if v <= 0 {
+				return nil, fmt.Errorf("core: non-positive weight %v at row %d", v, i)
+			}
+		}
+		if cfg.Evaluator != nil {
+			return nil, errors.New("core: external evaluators do not support row weights")
+		}
+	}
+	for i, v := range e {
+		if v < 0 {
+			return nil, fmt.Errorf("core: negative error %v at row %d; SliceLine requires e >= 0", v, i)
+		}
+	}
+	if len(feats) != enc.NumFeatures() {
+		return nil, fmt.Errorf("core: %d feature descriptors vs %d encoded features", len(feats), enc.NumFeatures())
+	}
+	if n == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	var sc scorer
+	if w == nil {
+		cfg = cfg.withDefaults(n)
+		sc = newScorer(n, e, cfg.Alpha, cfg.Sigma)
+	} else {
+		totalW := 0.0
+		for _, v := range w {
+			totalW += v
+		}
+		cfg = cfg.withDefaults(int(totalW))
+		sc = newWeightedScorer(e, w, cfg.Alpha, cfg.Sigma)
+	}
+	start := time.Now()
+
+	st := &state{cfg: cfg, sc: sc, e: e, w: w, m: enc.NumFeatures()}
+
+	res := &Result{N: int(sc.n), AvgError: sc.avgErr, Sigma: cfg.Sigma, Alpha: cfg.Alpha}
+
+	// b) Initialization: evaluate all basic (1-predicate) slices in
+	// vectorized form (Equation 4): ss0 = colSums(X), se0 = (eᵀ X)ᵀ, and
+	// sm0 the per-column max error. With weights, row i contributes w[i]
+	// to ss0 and w[i]·e[i] to se0.
+	var ss0, se0 []float64
+	if w == nil {
+		ss0 = matrix.ColSumsCSR(enc.X)
+		se0 = matrix.VecMatCSR(e, enc.X)
+	} else {
+		ss0 = matrix.VecMatCSR(w, enc.X)
+		we := make([]float64, n)
+		for i := range we {
+			we[i] = w[i] * e[i]
+		}
+		se0 = matrix.VecMatCSR(we, enc.X)
+	}
+	sm0 := make([]float64, enc.Width())
+	for i := 0; i < n; i++ {
+		ei := e[i]
+		colsI, _ := enc.X.RowEntries(i)
+		for _, c := range colsI {
+			if ei > sm0[c] {
+				sm0[c] = ei
+			}
+		}
+	}
+
+	// cI: valid basic slices (line 12 of Algorithm 1). With size pruning
+	// disabled for the ablation study, only the non-zero constraints apply.
+	minSS := float64(cfg.Sigma)
+	if cfg.DisableSizePruning {
+		minSS = 1
+	}
+	var cI []int
+	for j := 0; j < enc.Width(); j++ {
+		if ss0[j] >= minSS && se0[j] > 0 {
+			cI = append(cI, j)
+		}
+	}
+
+	// Project X, the offsets and statistics to the reduced column space.
+	st.x = enc.X.SelectCols(cI)
+	if cfg.Evaluator != nil {
+		st.eval = cfg.Evaluator
+		if err := st.eval.Setup(st.x, e); err != nil {
+			return nil, fmt.Errorf("core: evaluator setup: %w", err)
+		}
+	}
+	st.featOf = make([]int, len(cI))
+	st.valOf = make([]int, len(cI))
+	cur := &level{}
+	for k, j := range cI {
+		st.featOf[k] = enc.FeatureOf(j)
+		st.valOf[k] = enc.ValueOf(j)
+		score := sc.score(ss0[j], se0[j])
+		cur.cols = append(cur.cols, []int{k})
+		cur.sc = append(cur.sc, score)
+		cur.se = append(cur.se, se0[j])
+		cur.sm = append(cur.sm, sm0[j])
+		cur.ss = append(cur.ss, ss0[j])
+	}
+
+	tk := newTopK(cfg.K, float64(cfg.Sigma))
+	for i := range cur.cols {
+		tk.offer(cur.cols[i], cur.sc[i], cur.ss[i], cur.se[i], cur.sm[i])
+	}
+	st.recordLevel(res, LevelStats{
+		Level:      1,
+		Candidates: enc.Width(),
+		Valid:      countValid(cur, float64(cfg.Sigma)),
+		Elapsed:    time.Since(start),
+	})
+
+	// c) Level-wise lattice enumeration.
+	maxL := st.m
+	if cfg.MaxLevel > 0 && cfg.MaxLevel < maxL {
+		maxL = cfg.MaxLevel
+	}
+	for lvl := 2; lvl <= maxL && cur.size() > 0; lvl++ {
+		cand, pruned := st.pairCandidates(cur, lvl, tk.threshold())
+		if cand == nil {
+			// Generation itself exceeded the candidate budget.
+			res.Truncated = true
+			st.recordLevel(res, LevelStats{
+				Level: lvl, Elapsed: time.Since(start),
+			})
+			break
+		}
+		if cand.size() == 0 {
+			st.recordLevel(res, LevelStats{
+				Level: lvl, Pruned: pruned, Elapsed: time.Since(start),
+			})
+			break
+		}
+		if cand.size() > cfg.MaxCandidatesPerLevel {
+			res.Truncated = true
+			st.recordLevel(res, LevelStats{
+				Level: lvl, Candidates: cand.size(), Pruned: pruned, Elapsed: time.Since(start),
+			})
+			break
+		}
+		if cfg.PriorityEnumeration {
+			evaluated, extraPruned, err := st.evalWithPriority(cand, lvl, tk)
+			if err != nil {
+				return nil, err
+			}
+			cand = evaluated
+			pruned += extraPruned
+		} else {
+			if err := st.evalSlices(cand, lvl); err != nil {
+				return nil, err
+			}
+			for i := range cand.cols {
+				tk.offer(cand.cols[i], cand.sc[i], cand.ss[i], cand.se[i], cand.sm[i])
+			}
+		}
+		st.recordLevel(res, LevelStats{
+			Level:      lvl,
+			Candidates: cand.size(),
+			Valid:      countValid(cand, float64(cfg.Sigma)),
+			Pruned:     pruned,
+			Elapsed:    time.Since(start),
+		})
+		cur = cand
+	}
+
+	res.TopK = st.decode(tk, feats)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// recordLevel appends a level's statistics and fires the progress callback.
+func (st *state) recordLevel(res *Result, ls LevelStats) {
+	res.Levels = append(res.Levels, ls)
+	if st.cfg.OnLevel != nil {
+		st.cfg.OnLevel(ls)
+	}
+}
+
+func countValid(l *level, sigma float64) int {
+	valid := 0
+	for i := range l.cols {
+		if l.ss[i] >= sigma && l.se[i] > 0 {
+			valid++
+		}
+	}
+	return valid
+}

@@ -1,0 +1,63 @@
+package core
+
+import "sort"
+
+// topK maintains the current best K slices under the problem constraints
+// sc > 0 and |S| >= sigma (Section 4.5). Its minimum retained score is the
+// monotonically increasing pruning bound sc_k of Section 3.2.
+type topK struct {
+	k       int
+	sigma   float64
+	entries []tkEntry
+}
+
+type tkEntry struct {
+	cols  []int
+	score float64
+	ss    float64
+	se    float64
+	sm    float64
+}
+
+func newTopK(k int, sigma float64) *topK {
+	return &topK{k: k, sigma: sigma}
+}
+
+// offer considers one evaluated slice for inclusion.
+func (t *topK) offer(cols []int, score, ss, se, sm float64) {
+	if score <= 0 || ss < t.sigma {
+		return
+	}
+	if len(t.entries) == t.k {
+		last := t.entries[t.k-1]
+		if score < last.score || (score == last.score && ss <= last.ss) {
+			return
+		}
+	}
+	e := tkEntry{cols: cols, score: score, ss: ss, se: se, sm: sm}
+	pos := sort.Search(len(t.entries), func(i int) bool {
+		if t.entries[i].score != score {
+			return t.entries[i].score < score
+		}
+		// Deterministic tie-break: larger slices first, then lexicographic.
+		if t.entries[i].ss != ss {
+			return t.entries[i].ss < ss
+		}
+		return !lessCols(t.entries[i].cols, cols)
+	})
+	t.entries = append(t.entries, tkEntry{})
+	copy(t.entries[pos+1:], t.entries[pos:])
+	t.entries[pos] = e
+	if len(t.entries) > t.k {
+		t.entries = t.entries[:t.k]
+	}
+}
+
+// threshold returns sc_k: the K-th best score when the list is full, else 0
+// (every valid slice must beat 0 anyway).
+func (t *topK) threshold() float64 {
+	if len(t.entries) < t.k {
+		return 0
+	}
+	return t.entries[len(t.entries)-1].score
+}

@@ -1,0 +1,236 @@
+// Package datagen generates deterministic synthetic datasets whose shape
+// matches the paper's evaluation datasets (Table 1): row/feature counts,
+// per-feature domains (and thus the one-hot width l), heavy-tailed category
+// frequencies, correlated column groups, and planted problematic slices
+// where a model's errors concentrate. The real UCI/Criteo files are not
+// available offline; DESIGN.md documents why these stand-ins preserve the
+// enumeration characteristics the experiments depend on.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sliceline/internal/frame"
+)
+
+// Generated bundles a synthetic dataset with a label vector Y (for training
+// real models via package ml) and a synthetic model-error vector Err (for
+// enumeration benchmarks that, like the paper's measurements, start from a
+// materialized error vector).
+type Generated struct {
+	DS   *frame.Dataset
+	Err  []float64
+	Task string // "2-class", "4-class", "7-class", "reg"
+}
+
+// feature describes one synthetic feature.
+type feature struct {
+	name  string
+	dom   int     // domain size (distinct 1-based codes)
+	zipf  float64 // > 1: Zipf-distributed codes (heavy tail); else uniform
+	group int     // >= 0: derives from the latent variable of this group
+	noise float64 // probability of ignoring the group latent
+	skew  float64 // > 0: group latents map through u^skew, skewing codes low
+}
+
+// plant marks a conjunction of predicates whose rows get elevated errors —
+// the problematic slices SliceLine should find.
+type plant struct {
+	preds map[int]int // feature index -> value code
+	rate  float64     // error rate (classification) / noise scale (regression)
+}
+
+// spec is the full recipe for one synthetic dataset.
+type spec struct {
+	name    string
+	n       int
+	feats   []feature
+	plants  []plant
+	baseErr float64
+	nGroups int
+	task    string
+}
+
+// generate materializes a spec. All randomness is derived from the seed, so
+// equal calls produce identical data.
+func generate(s spec, seed int64) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	m := len(s.feats)
+	ds := &frame.Dataset{
+		Name:     s.name,
+		X0:       frame.NewIntMatrix(s.n, m),
+		Features: make([]frame.Feature, m),
+	}
+	for j, f := range s.feats {
+		ds.Features[j] = frame.Feature{Name: f.name, Domain: f.dom}
+	}
+	zipfs := make([]*rand.Zipf, m)
+	for j, f := range s.feats {
+		if f.zipf > 1 && f.dom > 1 {
+			zipfs[j] = rand.NewZipf(rng, f.zipf, 1, uint64(f.dom-1))
+		}
+	}
+	latents := make([]float64, s.nGroups)
+	for i := 0; i < s.n; i++ {
+		for g := range latents {
+			latents[g] = rng.Float64()
+		}
+		row := ds.X0.Row(i)
+		for j, f := range s.feats {
+			switch {
+			case f.group >= 0 && rng.Float64() >= f.noise:
+				// Correlated: the group latent deterministically selects the
+				// code, so features of one group move together. A positive
+				// skew concentrates mass on low codes, modelling the skewed
+				// value frequencies of real census-style data.
+				u := latents[f.group]
+				if f.skew > 0 {
+					u = math.Pow(u, f.skew)
+				}
+				row[j] = 1 + int(u*float64(f.dom))
+				if row[j] > f.dom {
+					row[j] = f.dom
+				}
+			case zipfs[j] != nil:
+				row[j] = 1 + int(zipfs[j].Uint64())
+			default:
+				row[j] = 1 + rng.Intn(f.dom)
+			}
+		}
+	}
+
+	g := &Generated{DS: ds, Task: s.task, Err: make([]float64, s.n)}
+	regression := s.task == "reg"
+	for i := 0; i < s.n; i++ {
+		rate := s.baseErr
+		row := ds.X0.Row(i)
+		for _, p := range s.plants {
+			match := true
+			for f, v := range p.preds {
+				if row[f] != v {
+					match = false
+					break
+				}
+			}
+			if match && p.rate > rate {
+				rate = p.rate
+			}
+		}
+		if regression {
+			d := rng.NormFloat64() * rate
+			g.Err[i] = d * d
+		} else if rng.Float64() < rate {
+			g.Err[i] = 1
+		}
+	}
+	g.attachLabels(s, seed)
+	return g
+}
+
+// attachLabels derives a label vector with a hidden rule that flips inside
+// the planted slices, so that a real (linear) model trained on Y mislabels
+// exactly those subgroups — the mechanism behind problematic slices.
+func (g *Generated) attachLabels(s spec, seed int64) {
+	rng := rand.New(rand.NewSource(seed + 1))
+	n := g.DS.NumRows()
+	y := make([]float64, n)
+	classes := 2
+	switch s.task {
+	case "4-class":
+		classes = 4
+	case "7-class":
+		classes = 7
+	}
+	for i := 0; i < n; i++ {
+		row := g.DS.X0.Row(i)
+		if s.task == "reg" {
+			// Additive signal over the first features plus planted shifts.
+			v := 0.0
+			for j := 0; j < len(row) && j < 4; j++ {
+				v += float64(row[j])
+			}
+			for _, p := range s.plants {
+				match := true
+				for f, pv := range p.preds {
+					if row[f] != pv {
+						match = false
+						break
+					}
+				}
+				if match {
+					v += 10 * p.rate
+				}
+			}
+			y[i] = v + rng.NormFloat64()*0.5
+			continue
+		}
+		// Classification: label follows feature 0 modulo classes, flipped
+		// inside planted slices.
+		c := row[0] % classes
+		for _, p := range s.plants {
+			match := true
+			for f, pv := range p.preds {
+				if row[f] != pv {
+					match = false
+					break
+				}
+			}
+			if match {
+				c = (c + 1) % classes
+			}
+		}
+		y[i] = float64(c)
+	}
+	g.DS.Y = y
+}
+
+// ReplicateRows scales a generated dataset row-wise (Figure 7a's
+// construction), replicating the error and label vectors alongside.
+func (g *Generated) ReplicateRows(factor int) *Generated {
+	out := &Generated{
+		DS:   g.DS.ReplicateRows(factor),
+		Task: g.Task,
+		Err:  make([]float64, 0, len(g.Err)*factor),
+	}
+	for r := 0; r < factor; r++ {
+		out.Err = append(out.Err, g.Err...)
+	}
+	return out
+}
+
+// ReplicateCols duplicates every feature column factor times (the "2x2"
+// Salaries construction of Figure 3, which adds perfectly correlated
+// columns). The error vector is unchanged.
+func (g *Generated) ReplicateCols(factor int) *Generated {
+	m := g.DS.NumFeatures()
+	n := g.DS.NumRows()
+	out := &Generated{
+		Task: g.Task,
+		Err:  g.Err,
+		DS: &frame.Dataset{
+			Name:     fmt.Sprintf("%s_cols_x%d", g.DS.Name, factor),
+			X0:       frame.NewIntMatrix(n, m*factor),
+			Features: make([]frame.Feature, m*factor),
+			Y:        g.DS.Y,
+		},
+	}
+	for r := 0; r < factor; r++ {
+		for j, f := range g.DS.Features {
+			name := f.Name
+			if r > 0 {
+				name = fmt.Sprintf("%s_copy%d", f.Name, r)
+			}
+			out.DS.Features[r*m+j] = frame.Feature{Name: name, Domain: f.Domain, Labels: f.Labels}
+		}
+	}
+	for i := 0; i < n; i++ {
+		src := g.DS.X0.Row(i)
+		dst := out.DS.X0.Row(i)
+		for r := 0; r < factor; r++ {
+			copy(dst[r*m:(r+1)*m], src)
+		}
+	}
+	return out
+}

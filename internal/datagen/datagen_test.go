@@ -1,0 +1,197 @@
+package datagen
+
+import (
+	"testing"
+
+	"sliceline/internal/frame"
+)
+
+func TestGeneratedShapesMatchTable1(t *testing.T) {
+	cases := []struct {
+		name    string
+		gen     func() *Generated
+		n, m, l int
+	}{
+		{"Salaries", func() *Generated { return Salaries(1) }, 397, 5, 27},
+		{"Adult", func() *Generated { return Adult(1) }, 32561, 14, 162},
+		{"Covtype", func() *Generated { return Covtype(5000, 1) }, 5000, 54, 188},
+		{"USCensus", func() *Generated { return USCensus(5000, 1) }, 5000, 68, 378},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := c.gen()
+			if got := g.DS.NumRows(); got != c.n {
+				t.Errorf("rows = %d, want %d", got, c.n)
+			}
+			if got := g.DS.NumFeatures(); got != c.m {
+				t.Errorf("features = %d, want %d", got, c.m)
+			}
+			if got := g.DS.OneHotWidth(); got != c.l {
+				t.Errorf("one-hot width = %d, want %d", got, c.l)
+			}
+			if err := g.DS.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+			if len(g.Err) != c.n || len(g.DS.Y) != c.n {
+				t.Errorf("err/label lengths %d/%d, want %d", len(g.Err), len(g.DS.Y), c.n)
+			}
+			for i, e := range g.Err {
+				if e < 0 {
+					t.Fatalf("negative error %v at row %d", e, i)
+				}
+			}
+		})
+	}
+}
+
+func TestKDD98Shape(t *testing.T) {
+	g := KDD98(2000, 1)
+	if got := g.DS.NumFeatures(); got != 469 {
+		t.Errorf("features = %d, want 469", got)
+	}
+	if l := g.DS.OneHotWidth(); l != 8378 {
+		t.Errorf("one-hot width = %d, want 8378", l)
+	}
+	if err := g.DS.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriteoShape(t *testing.T) {
+	g := Criteo(3000, 1)
+	if got := g.DS.NumFeatures(); got != 39 {
+		t.Errorf("features = %d, want 39", got)
+	}
+	l := g.DS.OneHotWidth()
+	if l < 500000 {
+		t.Errorf("one-hot width = %d, want ultra-wide (>= 500k)", l)
+	}
+	if g.Task != "2-class" {
+		t.Errorf("task = %q", g.Task)
+	}
+}
+
+func TestDeterminismForSeed(t *testing.T) {
+	a := Salaries(7)
+	b := Salaries(7)
+	for i := range a.DS.X0.Data {
+		if a.DS.X0.Data[i] != b.DS.X0.Data[i] {
+			t.Fatal("same seed produced different features")
+		}
+	}
+	for i := range a.Err {
+		if a.Err[i] != b.Err[i] {
+			t.Fatal("same seed produced different errors")
+		}
+	}
+	c := Salaries(8)
+	same := true
+	for i := range a.DS.X0.Data {
+		if a.DS.X0.Data[i] != c.DS.X0.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical features")
+	}
+}
+
+func TestPlantedSliceHasElevatedError(t *testing.T) {
+	g := Adult(3)
+	// Planted: sex=2 AND education=1 with rate 0.55 vs base 0.12.
+	var in, out, inN, outN float64
+	for i := 0; i < g.DS.NumRows(); i++ {
+		row := g.DS.X0.Row(i)
+		if row[9] == 2 && row[3] == 1 {
+			in += g.Err[i]
+			inN++
+		} else {
+			out += g.Err[i]
+			outN++
+		}
+	}
+	if inN < 30 {
+		t.Fatalf("planted slice support %v too small to test", inN)
+	}
+	if in/inN < 2*(out/outN) {
+		t.Fatalf("planted slice error rate %.3f not well above background %.3f", in/inN, out/outN)
+	}
+}
+
+func TestCorrelatedGroupsCovtype(t *testing.T) {
+	g := Covtype(20000, 5)
+	// Soil indicators come from one latent: soil00 and soil01 must agree far
+	// more often than independence (both are thresholded from one uniform).
+	agree := 0
+	for i := 0; i < g.DS.NumRows(); i++ {
+		row := g.DS.X0.Row(i)
+		if row[14] == row[15] {
+			agree++
+		}
+	}
+	// With follow-probability 0.7 per feature, expected agreement is about
+	// 0.49 + 0.42*0.5 + 0.09*0.5 ≈ 0.745, well above the 0.5 of independent
+	// balanced binaries.
+	frac := float64(agree) / float64(g.DS.NumRows())
+	if frac < 0.65 {
+		t.Fatalf("correlated binary features agree only %.2f of rows", frac)
+	}
+}
+
+func TestReplicateColsCreatesCopies(t *testing.T) {
+	g := Salaries(2)
+	r := g.ReplicateCols(2)
+	if r.DS.NumFeatures() != 10 {
+		t.Fatalf("features = %d, want 10", r.DS.NumFeatures())
+	}
+	if err := r.DS.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.DS.NumRows(); i++ {
+		row := r.DS.X0.Row(i)
+		for j := 0; j < 5; j++ {
+			if row[j] != row[j+5] {
+				t.Fatalf("row %d: copy column %d differs", i, j)
+			}
+		}
+	}
+	if len(r.Err) != r.DS.NumRows() {
+		t.Fatalf("err length %d vs rows %d", len(r.Err), r.DS.NumRows())
+	}
+}
+
+func TestReplicateRowsGenerated(t *testing.T) {
+	g := Salaries(2)
+	r := g.ReplicateRows(3)
+	if r.DS.NumRows() != 3*397 || len(r.Err) != 3*397 {
+		t.Fatalf("rows=%d err=%d, want 1191", r.DS.NumRows(), len(r.Err))
+	}
+	for i := 0; i < 397; i++ {
+		if r.Err[i] != g.Err[i] || r.Err[397+i] != g.Err[i] {
+			t.Fatal("replicated errors differ from original")
+		}
+	}
+}
+
+func TestLabelsUsableForTraining(t *testing.T) {
+	g := USCensus(3000, 4)
+	distinct := map[float64]bool{}
+	for _, y := range g.DS.Y {
+		distinct[y] = true
+	}
+	if len(distinct) < 2 || len(distinct) > 4 {
+		t.Fatalf("distinct labels = %d, want 2..4 for 4-class task", len(distinct))
+	}
+}
+
+func TestOneHotOnGenerated(t *testing.T) {
+	g := Salaries(6)
+	enc, err := frame.OneHot(g.DS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.X.Rows() != 397 || enc.X.Cols() != 27 {
+		t.Fatalf("encoding shape %dx%d", enc.X.Rows(), enc.X.Cols())
+	}
+}

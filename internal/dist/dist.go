@@ -1,0 +1,333 @@
+// Package dist provides distributed and multi-threaded backends for
+// SliceLine's slice evaluation, modelling the parallelization strategies of
+// the paper's Figure 7(b):
+//
+//   - MTOps: multi-threaded operations with a synchronization barrier after
+//     every evaluation block (each "operation" is parallel internally but
+//     the operation sequence is serial).
+//   - MTPFor: multi-threaded parallel-for over slice blocks without per-
+//     operation barriers, the paper's preferred local plan.
+//   - DistPFor: row-partitioned data-parallel execution across workers that
+//     each hold a partition of X and e. Workers may live in-process or
+//     behind TCP (gob-encoded RPC), modelling Spark's broadcast-based
+//     distributed matrix multiplications including serialization and
+//     network overheads.
+//
+// Every backend implements core.ExternalEvaluator, so it plugs directly
+// into core.Config.Evaluator while enumeration, pruning, and top-K
+// maintenance stay on the driver — exactly the paper's architecture where
+// the candidate matrix S is broadcast and X is scanned data-locally.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sliceline/internal/core"
+	"sliceline/internal/matrix"
+)
+
+// Strategy selects a parallelization plan.
+type Strategy int
+
+// Parallelization strategies of Figure 7(b).
+const (
+	MTOps Strategy = iota
+	MTPFor
+	DistPFor
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case MTOps:
+		return "MT-Ops"
+	case MTPFor:
+		return "MT-PFor"
+	case DistPFor:
+		return "Dist-PFor"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Local is an in-process evaluator implementing the MT-Ops and MT-PFor
+// strategies.
+type Local struct {
+	strategy  Strategy
+	blockSize int
+	x         *matrix.CSR
+	e         []float64
+}
+
+// NewLocal returns a local evaluator. blockSize <= 0 selects the automatic
+// size. DistPFor is not a local strategy; use NewCluster.
+func NewLocal(strategy Strategy, blockSize int) (*Local, error) {
+	if strategy == DistPFor {
+		return nil, errors.New("dist: DistPFor requires a cluster; use NewCluster")
+	}
+	return &Local{strategy: strategy, blockSize: blockSize}, nil
+}
+
+// Setup implements core.ExternalEvaluator.
+func (l *Local) Setup(x *matrix.CSR, e []float64) error {
+	l.x = x
+	l.e = e
+	return nil
+}
+
+// Eval implements core.ExternalEvaluator.
+func (l *Local) Eval(cols [][]int, level int) (ss, se, sm []float64, err error) {
+	if l.x == nil {
+		return nil, nil, nil, errors.New("dist: Eval before Setup")
+	}
+	n := len(cols)
+	ss = make([]float64, n)
+	se = make([]float64, n)
+	sm = make([]float64, n)
+	b := l.blockSize
+	if b <= 0 {
+		b = core.DefaultBlockSize
+	}
+	switch l.strategy {
+	case MTOps:
+		// Barrier per block: blocks run strictly one after another, each
+		// internally row-parallel (one "operation" at a time).
+		for s0 := 0; s0 < n; s0 += b {
+			s1 := s0 + b
+			if s1 > n {
+				s1 = n
+			}
+			core.EvalPartition(l.x, l.e, cols[s0:s1], level, s1-s0, ss[s0:s1], se[s0:s1], sm[s0:s1])
+		}
+	case MTPFor:
+		// Parallel for over blocks, no barriers between them.
+		core.EvalPartition(l.x, l.e, cols, level, b, ss, se, sm)
+	}
+	return ss, se, sm, nil
+}
+
+// Cluster is a row-partitioned data-parallel evaluator (Dist-PFor). Each
+// worker holds one partition; Eval broadcasts the candidate slices to every
+// worker and aggregates the returned partial statistics. When a worker
+// fails mid-run, its partition fails over to a healthy worker (the driver
+// retains the partitions it shipped at Setup), so a run survives up to
+// len(workers)-1 crashes.
+type Cluster struct {
+	workers   []Worker
+	blockSize int
+
+	mu     sync.Mutex
+	alive  []bool
+	parts  []partition // partition p as shipped at Setup
+	assign []int       // partition p → worker index currently holding it
+}
+
+type partition struct {
+	x *matrix.CSR
+	e []float64
+}
+
+// Worker is one executor holding row partitions of the dataset, keyed by
+// partition id so failed partitions can fail over to workers that already
+// hold their own.
+type Worker interface {
+	// Load ships partition part to the worker.
+	Load(part int, x *matrix.CSR, e []float64) error
+	// Eval evaluates the candidates against the worker's copy of partition
+	// part.
+	Eval(part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error)
+	// Close releases the worker.
+	Close() error
+}
+
+// NewCluster returns a Dist-PFor evaluator over the given workers.
+// blockSize <= 0 selects the automatic size on each worker.
+func NewCluster(workers []Worker, blockSize int) (*Cluster, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("dist: cluster needs at least one worker")
+	}
+	return &Cluster{workers: workers, blockSize: blockSize}, nil
+}
+
+// Setup partitions X and e row-wise across the workers and ships the
+// partitions, the data-locality setup of the paper's distributed plan. The
+// driver retains the partitions so they can fail over to healthy workers.
+func (c *Cluster) Setup(x *matrix.CSR, e []float64) error {
+	n := x.Rows()
+	w := len(c.workers)
+	per := (n + w - 1) / w
+	c.mu.Lock()
+	c.alive = make([]bool, w)
+	c.parts = c.parts[:0]
+	c.assign = c.assign[:0]
+	c.mu.Unlock()
+	for k, wk := range c.workers {
+		lo := k * per
+		hi := lo + per
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		part := partition{x: x.SelectRows(seq(lo, hi)), e: e[lo:hi]}
+		if err := wk.Load(k, part.x, part.e); err != nil {
+			return fmt.Errorf("dist: loading worker %d: %w", k, err)
+		}
+		c.mu.Lock()
+		c.alive[k] = true
+		c.parts = append(c.parts, part)
+		c.assign = append(c.assign, k)
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// Eval broadcasts the candidates, evaluates every partition concurrently,
+// and sums the partial (ss, se) vectors and maxes the sm vectors. A failed
+// worker is marked dead and its partition retried on a healthy worker.
+func (c *Cluster) Eval(cols [][]int, level int) (ss, se, sm []float64, err error) {
+	if len(c.parts) == 0 {
+		return nil, nil, nil, errors.New("dist: Eval before Setup")
+	}
+	n := len(cols)
+	ss = make([]float64, n)
+	se = make([]float64, n)
+	sm = make([]float64, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for p := range c.parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pss, pse, psm, werr := c.evalPartition(p, cols, level)
+			mu.Lock()
+			defer mu.Unlock()
+			if werr != nil {
+				if firstErr == nil {
+					firstErr = werr
+				}
+				return
+			}
+			for i := 0; i < n; i++ {
+				ss[i] += pss[i]
+				se[i] += pse[i]
+				if psm[i] > sm[i] {
+					sm[i] = psm[i]
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, nil, firstErr
+	}
+	return ss, se, sm, nil
+}
+
+// evalPartition evaluates one partition, failing over to other live workers
+// when the assigned one errors.
+func (c *Cluster) evalPartition(p int, cols [][]int, level int) (ss, se, sm []float64, err error) {
+	for attempt := 0; attempt < len(c.workers); attempt++ {
+		c.mu.Lock()
+		wi := c.assign[p]
+		ok := c.alive[wi]
+		c.mu.Unlock()
+		if ok {
+			ss, se, sm, err = c.workers[wi].Eval(p, cols, level, c.blockSize)
+			if err == nil {
+				return ss, se, sm, nil
+			}
+			// Mark the worker dead; its other partitions will fail over as
+			// their own evaluations error out.
+			c.mu.Lock()
+			c.alive[wi] = false
+			c.mu.Unlock()
+		}
+		// Find a healthy worker, reship the partition, and retry.
+		c.mu.Lock()
+		next := -1
+		for k, a := range c.alive {
+			if a {
+				next = k
+				break
+			}
+		}
+		if next >= 0 {
+			c.assign[p] = next
+		}
+		c.mu.Unlock()
+		if next < 0 {
+			return nil, nil, nil, fmt.Errorf("dist: no live workers left for partition %d: %w", p, err)
+		}
+		if lerr := c.workers[next].Load(p, c.parts[p].x, c.parts[p].e); lerr != nil {
+			c.mu.Lock()
+			c.alive[next] = false
+			c.mu.Unlock()
+			continue
+		}
+	}
+	return nil, nil, nil, fmt.Errorf("dist: partition %d failed on every worker: %w", p, err)
+}
+
+// Close shuts down all workers, returning the first error.
+func (c *Cluster) Close() error {
+	var first error
+	for _, wk := range c.workers {
+		if err := wk.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// InProcessWorker executes partitions in the driver process; it is the
+// no-network reference worker used by tests and the simulated cluster.
+type InProcessWorker struct {
+	mu    sync.Mutex
+	parts map[int]partition
+}
+
+// Load implements Worker.
+func (w *InProcessWorker) Load(part int, x *matrix.CSR, e []float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.parts == nil {
+		w.parts = make(map[int]partition)
+	}
+	w.parts[part] = partition{x: x, e: e}
+	return nil
+}
+
+// Eval implements Worker.
+func (w *InProcessWorker) Eval(part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error) {
+	w.mu.Lock()
+	p, ok := w.parts[part]
+	w.mu.Unlock()
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("dist: worker holds no partition %d", part)
+	}
+	n := len(cols)
+	ss = make([]float64, n)
+	se = make([]float64, n)
+	sm = make([]float64, n)
+	core.EvalPartition(p.x, p.e, cols, level, blockSize, ss, se, sm)
+	return ss, se, sm, nil
+}
+
+// Close implements Worker.
+func (w *InProcessWorker) Close() error { return nil }
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+var _ core.ExternalEvaluator = (*Local)(nil)
+var _ core.ExternalEvaluator = (*Cluster)(nil)

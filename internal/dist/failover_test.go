@@ -1,0 +1,124 @@
+package dist
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sliceline/internal/core"
+	"sliceline/internal/matrix"
+)
+
+// flakyWorker wraps an InProcessWorker and starts failing after a trigger.
+type flakyWorker struct {
+	InProcessWorker
+	dead bool
+}
+
+func (w *flakyWorker) Eval(part int, cols [][]int, level, blockSize int) ([]float64, []float64, []float64, error) {
+	if w.dead {
+		return nil, nil, nil, errors.New("injected worker crash")
+	}
+	return w.InProcessWorker.Eval(part, cols, level, blockSize)
+}
+
+func (w *flakyWorker) Load(part int, x *matrix.CSR, e []float64) error {
+	if w.dead {
+		return errors.New("injected worker crash")
+	}
+	return w.InProcessWorker.Load(part, x, e)
+}
+
+// TestClusterFailoverMidRun: killing a worker after Setup must not change
+// the result — its partition fails over to the surviving workers.
+func TestClusterFailoverMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ds, e := randomDataset(rng, 400, 4, 4)
+	cfg := core.Config{K: 5, Sigma: 4, Alpha: 0.9}
+	ref, err := core.Run(ds, e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w0 := &flakyWorker{}
+	w1 := &flakyWorker{}
+	w2 := &flakyWorker{}
+	cl, err := NewCluster([]Worker{w0, w1, w2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive Setup manually with a small matrix, then kill w1 and check
+	// Eval still sums all partitions.
+	x := matrix.CSRFromDense(matrix.NewDenseData(6, 2, []float64{
+		1, 0,
+		1, 0,
+		0, 1,
+		0, 1,
+		1, 0,
+		0, 1,
+	}))
+	ev := []float64{1, 1, 1, 1, 1, 1}
+	if err := cl.Setup(x, ev); err != nil {
+		t.Fatal(err)
+	}
+	w1.dead = true
+	ss, se, _, err := cl.Eval([][]int{{0}, {1}}, 1)
+	if err != nil {
+		t.Fatalf("failover Eval: %v", err)
+	}
+	if ss[0] != 3 || ss[1] != 3 {
+		t.Fatalf("ss = %v, want [3 3] (all partitions counted)", ss)
+	}
+	if se[0] != 3 || se[1] != 3 {
+		t.Fatalf("se = %v, want [3 3]", se)
+	}
+
+	// End-to-end: a fresh cluster where one worker dies right after Setup
+	// still produces the exact reference result.
+	wa, wb := &flakyWorker{}, &flakyWorker{}
+	cl2, err := NewCluster([]Worker{wa, wb}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg
+	c.Evaluator = &killAfterSetup{Cluster: cl2, victim: wb}
+	got, err := core.Run(ds, e, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalScores(scores(got.TopK), scores(ref.TopK)) {
+		t.Fatalf("failover scores %v differ from builtin %v", scores(got.TopK), scores(ref.TopK))
+	}
+}
+
+// killAfterSetup kills the victim worker right after cluster setup.
+type killAfterSetup struct {
+	*Cluster
+	victim *flakyWorker
+}
+
+func (k *killAfterSetup) Setup(x *matrix.CSR, e []float64) error {
+	if err := k.Cluster.Setup(x, e); err != nil {
+		return err
+	}
+	k.victim.dead = true
+	return nil
+}
+
+// TestClusterAllWorkersDead: when every worker is gone the error must
+// surface.
+func TestClusterAllWorkersDead(t *testing.T) {
+	w0 := &flakyWorker{}
+	cl, err := NewCluster([]Worker{w0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := matrix.CSRFromDense(matrix.NewDenseData(2, 1, []float64{1, 1}))
+	if err := cl.Setup(x, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	w0.dead = true
+	if _, _, _, err := cl.Eval([][]int{{0}}, 1); err == nil {
+		t.Fatal("expected error when all workers are dead")
+	}
+}

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"sliceline/internal/core"
+	"sliceline/internal/matrix"
+)
+
+// LoadArgs ships a row partition to a remote worker (gob-encoded).
+type LoadArgs struct {
+	Part       int
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+	Err        []float64
+}
+
+// LoadReply acknowledges a Load.
+type LoadReply struct{}
+
+// EvalArgs broadcasts slice candidates to a worker.
+type EvalArgs struct {
+	Part      int
+	Cols      [][]int
+	Level     int
+	BlockSize int
+}
+
+// EvalReply carries the partial statistics of one partition.
+type EvalReply struct {
+	SS, SE, SM []float64
+}
+
+// Service is the RPC service a worker process exposes. Register it with
+// net/rpc and serve on a TCP listener (see Serve and cmd/slworker). It
+// holds any number of partitions keyed by id, supporting driver-side
+// failover.
+type Service struct {
+	mu    sync.Mutex
+	parts map[int]partition
+}
+
+// Load implements the worker side of partition shipping.
+func (s *Service) Load(args *LoadArgs, _ *LoadReply) error {
+	if len(args.RowPtr) != args.Rows+1 {
+		return fmt.Errorf("dist: bad partition: %d rowPtr entries for %d rows", len(args.RowPtr), args.Rows)
+	}
+	if len(args.Err) != args.Rows {
+		return fmt.Errorf("dist: bad partition: %d errors for %d rows", len(args.Err), args.Rows)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.parts == nil {
+		s.parts = make(map[int]partition)
+	}
+	s.parts[args.Part] = partition{
+		x: matrix.NewCSR(args.Rows, args.Cols, args.RowPtr, args.ColIdx, args.Val),
+		e: args.Err,
+	}
+	return nil
+}
+
+// Eval implements the worker side of candidate evaluation.
+func (s *Service) Eval(args *EvalArgs, reply *EvalReply) error {
+	s.mu.Lock()
+	p, ok := s.parts[args.Part]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("dist: worker holds no partition %d", args.Part)
+	}
+	n := len(args.Cols)
+	reply.SS = make([]float64, n)
+	reply.SE = make([]float64, n)
+	reply.SM = make([]float64, n)
+	core.EvalPartition(p.x, p.e, args.Cols, args.Level, args.BlockSize, reply.SS, reply.SE, reply.SM)
+	return nil
+}
+
+// Serve accepts worker connections on the listener until it is closed. Each
+// connection is served concurrently. It returns when the listener closes.
+func Serve(lis net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", &Service{}); err != nil {
+		return err
+	}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// RemoteWorker talks to a worker process over TCP with gob-encoded RPC. It
+// models the broadcast/serialization overheads of the paper's distributed
+// backend.
+type RemoteWorker struct {
+	addr   string
+	client *rpc.Client
+}
+
+// Dial connects to a worker at addr (host:port).
+func Dial(addr string) (*RemoteWorker, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing %s: %w", addr, err)
+	}
+	return &RemoteWorker{addr: addr, client: client}, nil
+}
+
+// Load implements Worker.
+func (w *RemoteWorker) Load(part int, x *matrix.CSR, e []float64) error {
+	rowPtr, colIdx, val := x.Components()
+	args := &LoadArgs{
+		Part: part,
+		Rows: x.Rows(), Cols: x.Cols(),
+		RowPtr: rowPtr, ColIdx: colIdx, Val: val, Err: e,
+	}
+	return w.client.Call("Worker.Load", args, &LoadReply{})
+}
+
+// Eval implements Worker.
+func (w *RemoteWorker) Eval(part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error) {
+	var reply EvalReply
+	err = w.client.Call("Worker.Eval", &EvalArgs{Part: part, Cols: cols, Level: level, BlockSize: blockSize}, &reply)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dist: eval on %s: %w", w.addr, err)
+	}
+	return reply.SS, reply.SE, reply.SM, nil
+}
+
+// Close implements Worker.
+func (w *RemoteWorker) Close() error { return w.client.Close() }
+
+var _ Worker = (*RemoteWorker)(nil)
+var _ Worker = (*InProcessWorker)(nil)

@@ -1,0 +1,37 @@
+package dist
+
+import "testing"
+
+func TestStrategyString(t *testing.T) {
+	cases := map[Strategy]string{
+		MTOps:        "MT-Ops",
+		MTPFor:       "MT-PFor",
+		DistPFor:     "Dist-PFor",
+		Strategy(99): "Strategy(99)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestLocalEvalBeforeSetup(t *testing.T) {
+	ev, err := NewLocal(MTPFor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ev.Eval([][]int{{0}}, 1); err == nil {
+		t.Fatal("expected error for Eval before Setup")
+	}
+}
+
+func TestClusterEvalBeforeSetup(t *testing.T) {
+	cl, err := NewCluster([]Worker{&InProcessWorker{}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := cl.Eval([][]int{{0}}, 1); err == nil {
+		t.Fatal("expected error for Eval before Setup")
+	}
+}

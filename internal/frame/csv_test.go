@@ -1,0 +1,83 @@
+package frame
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVTypes(t *testing.T) {
+	in := "name,age,city\nann,34,berlin\nbob,28,graz\n"
+	f, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 2 || f.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", f.NumRows(), f.NumCols())
+	}
+	name, err := f.Column("name")
+	if err != nil || name.Kind != Categorical {
+		t.Fatalf("name column: err=%v kind=%v", err, name.Kind)
+	}
+	age, err := f.Column("age")
+	if err != nil || age.Kind != Numeric {
+		t.Fatalf("age column: err=%v kind=%v", err, age.Kind)
+	}
+	if !reflect.DeepEqual(age.Floats, []float64{34, 28}) {
+		t.Fatalf("age = %v", age.Floats)
+	}
+}
+
+func TestReadCSVEmptyInput(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	// A quoted field that never closes is a csv syntax error.
+	if _, err := ReadCSV(strings.NewReader("a,b\n\"oops,1\n")); err == nil {
+		t.Fatal("expected error for malformed csv")
+	}
+}
+
+func TestReadCSVEmptyCellForcesCategorical(t *testing.T) {
+	f, err := ReadCSV(strings.NewReader("k,v\na,1\nb,\nc,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.Column("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != Categorical {
+		t.Fatalf("kind = %v, want Categorical when empty cells exist", c.Kind)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := NewFrame([]Column{
+		{Name: "cat", Kind: Categorical, Strings: []string{"x", "y"}},
+		{Name: "num", Kind: Numeric, Floats: []float64{1.5, -2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, _ := back.Column("cat")
+	num, _ := back.Column("num")
+	if !reflect.DeepEqual(cat.Strings, []string{"x", "y"}) {
+		t.Errorf("cat = %v", cat.Strings)
+	}
+	if !reflect.DeepEqual(num.Floats, []float64{1.5, -2}) {
+		t.Errorf("num = %v", num.Floats)
+	}
+}

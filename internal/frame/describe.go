@@ -1,0 +1,74 @@
+package frame
+
+import "sort"
+
+// FeatureSummary describes the empirical value distribution of one encoded
+// feature: per-code counts and the concentration statistics that drive
+// SliceLine's enumeration behaviour (the support of a basic slice is
+// exactly a code count).
+type FeatureSummary struct {
+	Name     string
+	Domain   int
+	Counts   []int   // Counts[v-1] = rows with code v
+	TopCode  int     // most frequent code (1-based)
+	TopShare float64 // fraction of rows holding TopCode
+	Distinct int     // codes that actually occur
+}
+
+// Describe computes per-feature summaries of a dataset.
+func Describe(ds *Dataset) []FeatureSummary {
+	out := make([]FeatureSummary, ds.NumFeatures())
+	n := ds.NumRows()
+	for j, f := range ds.Features {
+		s := FeatureSummary{Name: f.Name, Domain: f.Domain, Counts: make([]int, f.Domain)}
+		for i := 0; i < n; i++ {
+			s.Counts[ds.X0.At(i, j)-1]++
+		}
+		best := 0
+		for v, c := range s.Counts {
+			if c > 0 {
+				s.Distinct++
+			}
+			if c > s.Counts[best] {
+				best = v
+			}
+		}
+		s.TopCode = best + 1
+		if n > 0 {
+			s.TopShare = float64(s.Counts[best]) / float64(n)
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// ValidBasicSlices returns, per feature, how many of its codes have support
+// at least sigma — the number of valid basic slices the feature contributes
+// at lattice level 1, a direct predictor of enumeration cost.
+func ValidBasicSlices(ds *Dataset, sigma int) []int {
+	sums := Describe(ds)
+	out := make([]int, len(sums))
+	for j, s := range sums {
+		for _, c := range s.Counts {
+			if c >= sigma {
+				out[j]++
+			}
+		}
+	}
+	return out
+}
+
+// SkewRank orders features by the share of their most frequent code,
+// descending — the most concentrated features first. It returns feature
+// indices.
+func SkewRank(ds *Dataset) []int {
+	sums := Describe(ds)
+	idx := make([]int, len(sums))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return sums[idx[a]].TopShare > sums[idx[b]].TopShare
+	})
+	return idx
+}

@@ -1,0 +1,66 @@
+package frame
+
+import (
+	"reflect"
+	"testing"
+)
+
+func describeDataset() *Dataset {
+	ds := &Dataset{
+		Name: "d",
+		X0:   NewIntMatrix(10, 2),
+		Features: []Feature{
+			{Name: "a", Domain: 3},
+			{Name: "b", Domain: 2},
+		},
+	}
+	// Feature a: 1 appears 6x, 2 appears 4x, 3 never.
+	// Feature b: 1 appears 5x, 2 appears 5x.
+	for i := 0; i < 10; i++ {
+		if i < 6 {
+			ds.X0.Set(i, 0, 1)
+		} else {
+			ds.X0.Set(i, 0, 2)
+		}
+		ds.X0.Set(i, 1, 1+i%2)
+	}
+	return ds
+}
+
+func TestDescribe(t *testing.T) {
+	sums := Describe(describeDataset())
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	a := sums[0]
+	if !reflect.DeepEqual(a.Counts, []int{6, 4, 0}) {
+		t.Errorf("a counts = %v", a.Counts)
+	}
+	if a.TopCode != 1 || a.TopShare != 0.6 || a.Distinct != 2 {
+		t.Errorf("a summary = %+v", a)
+	}
+	b := sums[1]
+	if b.TopShare != 0.5 || b.Distinct != 2 {
+		t.Errorf("b summary = %+v", b)
+	}
+}
+
+func TestValidBasicSlices(t *testing.T) {
+	ds := describeDataset()
+	got := ValidBasicSlices(ds, 5)
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("ValidBasicSlices(5) = %v, want [1 2]", got)
+	}
+	got = ValidBasicSlices(ds, 1)
+	if !reflect.DeepEqual(got, []int{2, 2}) {
+		t.Fatalf("ValidBasicSlices(1) = %v, want [2 2]", got)
+	}
+}
+
+func TestSkewRank(t *testing.T) {
+	ds := describeDataset()
+	got := SkewRank(ds)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("SkewRank = %v, want [0 1] (a is more concentrated)", got)
+	}
+}

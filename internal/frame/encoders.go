@@ -1,0 +1,72 @@
+package frame
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// RecodeHash maps category strings to 1-based codes in [1, buckets] via
+// feature hashing (FNV-1a), the paper's third encoding option for
+// high-cardinality categorical features where full recode maps are too
+// large. Collisions are intentional; the returned domain is always buckets.
+func RecodeHash(values []string, buckets int) []int {
+	if buckets < 1 {
+		panic(fmt.Sprintf("frame: buckets = %d, want >= 1", buckets))
+	}
+	codes := make([]int, len(values))
+	for i, v := range values {
+		h := fnv.New32a()
+		h.Write([]byte(v)) //nolint:errcheck // hash.Write never fails
+		codes[i] = int(h.Sum32()%uint32(buckets)) + 1
+	}
+	return codes
+}
+
+// BinEquiHeight assigns each value to one of up to nBins equi-height
+// (quantile) bins, producing 1-based continuous codes. Ties across quantile
+// boundaries collapse bins, so the effective domain can be smaller than
+// nBins; the returned cut points have one entry per bin boundary. NaN-free
+// input is assumed (bin the output of cleaning passes).
+func BinEquiHeight(values []float64, nBins int) (codes []int, cuts []float64) {
+	if nBins < 1 {
+		panic(fmt.Sprintf("frame: nBins = %d, want >= 1", nBins))
+	}
+	n := len(values)
+	codes = make([]int, n)
+	if n == 0 {
+		return codes, nil
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	// Candidate cut points at the quantile boundaries, deduplicated.
+	for b := 1; b < nBins; b++ {
+		q := sorted[b*n/nBins]
+		if len(cuts) == 0 || q > cuts[len(cuts)-1] {
+			cuts = append(cuts, q)
+		}
+	}
+	for i, v := range values {
+		// bin = 1 + number of cuts <= v, so each cut opens a new bin.
+		codes[i] = 1 + sort.Search(len(cuts), func(k int) bool { return cuts[k] > v })
+	}
+	// Compact to a continuous 1..d range (SliceLine requires continuous
+	// integer codes).
+	seen := map[int]bool{}
+	for _, c := range codes {
+		seen[c] = true
+	}
+	remap := make(map[int]int, len(seen))
+	var keys []int
+	for c := range seen {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	for rank, c := range keys {
+		remap[c] = rank + 1
+	}
+	for i, c := range codes {
+		codes[i] = remap[c]
+	}
+	return codes, cuts
+}

@@ -1,0 +1,137 @@
+package frame
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecodeHashDeterministicAndInRange(t *testing.T) {
+	vals := []string{"alpha", "beta", "gamma", "alpha", "delta"}
+	codes := RecodeHash(vals, 8)
+	for i, c := range codes {
+		if c < 1 || c > 8 {
+			t.Fatalf("code %d out of [1,8] at %d", c, i)
+		}
+	}
+	if codes[0] != codes[3] {
+		t.Fatal("equal values hashed to different codes")
+	}
+	again := RecodeHash(vals, 8)
+	for i := range codes {
+		if codes[i] != again[i] {
+			t.Fatal("hashing not deterministic")
+		}
+	}
+}
+
+func TestRecodeHashSingleBucket(t *testing.T) {
+	codes := RecodeHash([]string{"a", "b"}, 1)
+	if codes[0] != 1 || codes[1] != 1 {
+		t.Fatalf("codes = %v, want all 1", codes)
+	}
+}
+
+func TestRecodeHashPanicsOnBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RecodeHash([]string{"x"}, 0)
+}
+
+func TestBinEquiHeightBalanced(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	codes, _ := BinEquiHeight(vals, 4)
+	counts := map[int]int{}
+	for _, c := range codes {
+		counts[c]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("distinct bins = %d, want 4", len(counts))
+	}
+	for b, c := range counts {
+		if c != 25 {
+			t.Errorf("bin %d has %d values, want 25", b, c)
+		}
+	}
+}
+
+func TestBinEquiHeightSkewedCollapses(t *testing.T) {
+	// 90% identical values: quantile cuts collide and bins collapse, but
+	// codes must remain a continuous 1..d range.
+	vals := make([]float64, 100)
+	for i := 90; i < 100; i++ {
+		vals[i] = float64(i)
+	}
+	codes, _ := BinEquiHeight(vals, 10)
+	maxCode := 0
+	seen := map[int]bool{}
+	for _, c := range codes {
+		seen[c] = true
+		if c > maxCode {
+			maxCode = c
+		}
+	}
+	if len(seen) != maxCode {
+		t.Fatalf("codes not continuous: %d distinct, max %d", len(seen), maxCode)
+	}
+	if maxCode >= 10 {
+		t.Fatalf("expected collapsed bins, got %d", maxCode)
+	}
+}
+
+func TestBinEquiHeightEmptyAndSingle(t *testing.T) {
+	codes, _ := BinEquiHeight(nil, 3)
+	if len(codes) != 0 {
+		t.Fatal("non-empty codes for empty input")
+	}
+	codes, _ = BinEquiHeight([]float64{7}, 3)
+	if len(codes) != 1 || codes[0] != 1 {
+		t.Fatalf("single value codes = %v, want [1]", codes)
+	}
+}
+
+func TestBinEquiHeightCodesContinuousProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(9))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(20)) // heavy ties
+		}
+		bins := 1 + rng.Intn(8)
+		codes, _ := BinEquiHeight(vals, bins)
+		seen := map[int]bool{}
+		maxCode := 0
+		for _, c := range codes {
+			if c < 1 {
+				return false
+			}
+			seen[c] = true
+			if c > maxCode {
+				maxCode = c
+			}
+		}
+		// Continuous 1..d and order-preserving: larger value → >= code.
+		if len(seen) != maxCode {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if vals[i] < vals[j] && codes[i] > codes[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package frame
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// datasetWire is the gob wire format of a Dataset, kept separate from the
+// in-memory type so the storage layout can evolve independently.
+type datasetWire struct {
+	Name     string
+	Rows     int
+	Cols     int
+	Data     []int
+	Features []Feature
+	Y        []float64
+}
+
+// WriteDataset serializes a dataset in a compact binary (gob) form, used to
+// cache expensive synthetic generations and to ship datasets to workers.
+func WriteDataset(w io.Writer, ds *Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	wire := datasetWire{
+		Name:     ds.Name,
+		Rows:     ds.X0.Rows,
+		Cols:     ds.X0.Cols,
+		Data:     ds.X0.Data,
+		Features: ds.Features,
+		Y:        ds.Y,
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("frame: encoding dataset: %w", err)
+	}
+	return nil
+}
+
+// ReadDataset deserializes a dataset written by WriteDataset, validating its
+// structural invariants.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	var wire datasetWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("frame: decoding dataset: %w", err)
+	}
+	if len(wire.Data) != wire.Rows*wire.Cols {
+		return nil, fmt.Errorf("frame: corrupt dataset: %d cells for %dx%d", len(wire.Data), wire.Rows, wire.Cols)
+	}
+	ds := &Dataset{
+		Name:     wire.Name,
+		X0:       &IntMatrix{Rows: wire.Rows, Cols: wire.Cols, Data: wire.Data},
+		Features: wire.Features,
+		Y:        wire.Y,
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

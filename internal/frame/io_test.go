@@ -1,0 +1,60 @@
+package frame
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDatasetGobRoundTrip(t *testing.T) {
+	ds, err := FromFrame(testFrame(t), "y", 2, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Name = "roundtrip"
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "roundtrip" {
+		t.Errorf("name = %q", back.Name)
+	}
+	if !reflect.DeepEqual(back.X0.Data, ds.X0.Data) {
+		t.Error("X0 differs after round trip")
+	}
+	if !reflect.DeepEqual(back.Y, ds.Y) {
+		t.Error("Y differs after round trip")
+	}
+	if !reflect.DeepEqual(back.Features, ds.Features) {
+		t.Error("features differ after round trip")
+	}
+}
+
+func TestWriteDatasetRejectsInvalid(t *testing.T) {
+	ds := &Dataset{
+		Name:     "bad",
+		X0:       &IntMatrix{Rows: 1, Cols: 1, Data: []int{9}},
+		Features: []Feature{{Name: "f", Domain: 2}},
+	}
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestReadDatasetCorruptStream(t *testing.T) {
+	if _, err := ReadDataset(strings.NewReader("not gob data")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestReadDatasetEmptyStream(t *testing.T) {
+	if _, err := ReadDataset(strings.NewReader("")); err == nil {
+		t.Fatal("expected error for empty stream")
+	}
+}

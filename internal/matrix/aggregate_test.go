@@ -1,0 +1,107 @@
+package matrix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestColSumsAndMaxs(t *testing.T) {
+	a := NewDenseData(3, 2, []float64{1, -5, 2, 0, 3, 4})
+	if got := ColSums(a); !reflect.DeepEqual(got, []float64{6, -1}) {
+		t.Errorf("ColSums = %v, want [6 -1]", got)
+	}
+	if got := ColMaxs(a); !reflect.DeepEqual(got, []float64{3, 4}) {
+		t.Errorf("ColMaxs = %v, want [3 4]", got)
+	}
+}
+
+func TestRowSumsMaxsIndexMax(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 9, 2, -1, -2, -3})
+	if got := RowSums(a); !reflect.DeepEqual(got, []float64{12, -6}) {
+		t.Errorf("RowSums = %v, want [12 -6]", got)
+	}
+	if got := RowMaxs(a); !reflect.DeepEqual(got, []float64{9, -1}) {
+		t.Errorf("RowMaxs = %v, want [9 -1]", got)
+	}
+	if got := RowIndexMax(a); !reflect.DeepEqual(got, []int{1, 0}) {
+		t.Errorf("RowIndexMax = %v, want [1 0]", got)
+	}
+}
+
+func TestRowIndexMaxFirstOccurrence(t *testing.T) {
+	a := NewDenseData(1, 4, []float64{2, 7, 7, 1})
+	if got := RowIndexMax(a); got[0] != 1 {
+		t.Fatalf("RowIndexMax tie = %d, want 1 (first occurrence)", got[0])
+	}
+}
+
+func TestEmptyAggregates(t *testing.T) {
+	a := NewDense(0, 3)
+	if got := ColMaxs(a); !reflect.DeepEqual(got, []float64{0, 0, 0}) {
+		t.Errorf("ColMaxs of empty = %v, want zeros", got)
+	}
+	b := NewDense(2, 0)
+	if got := RowMaxs(b); !reflect.DeepEqual(got, []float64{0, 0}) {
+		t.Errorf("RowMaxs of zero-width = %v, want zeros", got)
+	}
+}
+
+func TestCSRAggregatesMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 40; trial++ {
+		m := randomCSR(rng, 1+rng.Intn(10), 1+rng.Intn(10), 0.4)
+		d := m.ToDense()
+		if got, want := ColSumsCSR(m), ColSums(d); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: ColSumsCSR = %v, want %v", trial, got, want)
+		}
+		if got, want := RowSumsCSR(m), RowSums(d); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: RowSumsCSR = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestColMaxsCSRNonNegative(t *testing.T) {
+	// randomCSR produces positive values, where stored-max == true max.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		m := randomCSR(rng, 1+rng.Intn(10), 1+rng.Intn(10), 0.4)
+		got := ColMaxsCSR(m)
+		want := ColMaxs(m.ToDense())
+		for j := range got {
+			// Columns with no entries: CSR reports 0, dense reports 0 too
+			// because randomCSR values are >= 1 and ColMaxs clamps empties.
+			if got[j] != want[j] && !(got[j] == 0 && want[j] == 0) {
+				t.Fatalf("trial %d col %d: %v vs %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	v := []float64{3, -1, 4, 1}
+	if got := VecSum(v); got != 7 {
+		t.Errorf("VecSum = %v, want 7", got)
+	}
+	if got := VecMax(v); got != 4 {
+		t.Errorf("VecMax = %v, want 4", got)
+	}
+	if got := VecMin(v); got != -1 {
+		t.Errorf("VecMin = %v, want -1", got)
+	}
+	if VecMax(nil) != 0 || VecMin(nil) != 0 || VecSum(nil) != 0 {
+		t.Error("empty-slice helpers should return 0")
+	}
+}
+
+func TestCumSumCumProd(t *testing.T) {
+	if got := CumSum([]float64{1, 2, 3}); !reflect.DeepEqual(got, []float64{1, 3, 6}) {
+		t.Errorf("CumSum = %v, want [1 3 6]", got)
+	}
+	if got := CumProd([]float64{2, 3, 4}); !reflect.DeepEqual(got, []float64{2, 6, 24}) {
+		t.Errorf("CumProd = %v, want [2 6 24]", got)
+	}
+	if got := CumSum(nil); len(got) != 0 {
+		t.Errorf("CumSum(nil) = %v, want empty", got)
+	}
+}

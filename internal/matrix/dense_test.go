@@ -1,0 +1,188 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	d := NewDense(3, 4)
+	if d.Rows() != 3 || d.Cols() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", d.Rows(), d.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if d.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, d.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDenseSetAt(t *testing.T) {
+	d := NewDense(2, 3)
+	d.Set(1, 2, 7.5)
+	d.Set(0, 0, -1)
+	if got := d.At(1, 2); got != 7.5 {
+		t.Errorf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := d.At(0, 0); got != -1 {
+		t.Errorf("At(0,0) = %v, want -1", got)
+	}
+}
+
+func TestDenseOutOfBoundsPanics(t *testing.T) {
+	d := NewDense(2, 2)
+	cases := []func(){
+		func() { d.At(2, 0) },
+		func() { d.At(0, 2) },
+		func() { d.At(-1, 0) },
+		func() { d.Set(0, -1, 1) },
+		func() { d.Row(5) },
+		func() { d.Col(-1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewDenseDataLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDenseData(2, 2, []float64{1, 2, 3})
+}
+
+func TestDenseTranspose(t *testing.T) {
+	d := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := d.T()
+	want := NewDenseData(3, 2, []float64{1, 4, 2, 5, 3, 6})
+	if !tr.Equal(want) {
+		t.Fatalf("T() = %v, want %v", tr, want)
+	}
+	if !tr.T().Equal(d) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestDenseCloneIndependent(t *testing.T) {
+	d := NewDenseData(1, 2, []float64{1, 2})
+	c := d.Clone()
+	c.Set(0, 0, 9)
+	if d.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestDenseAddSubMulElem(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{5, 6, 7, 8})
+	if got, want := Add(a, b), NewDenseData(2, 2, []float64{6, 8, 10, 12}); !got.Equal(want) {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	if got, want := Sub(b, a), NewDenseData(2, 2, []float64{4, 4, 4, 4}); !got.Equal(want) {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+	if got, want := MulElem(a, b), NewDenseData(2, 2, []float64{5, 12, 21, 32}); !got.Equal(want) {
+		t.Errorf("MulElem = %v, want %v", got, want)
+	}
+}
+
+func TestDenseShapeMismatchPanics(t *testing.T) {
+	a := NewDense(2, 2)
+	b := NewDense(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Add(a, b)
+}
+
+func TestScaleRows(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	got := ScaleRows(a, []float64{10, 0.5})
+	want := NewDenseData(2, 2, []float64{10, 20, 1.5, 2})
+	if !got.Equal(want) {
+		t.Fatalf("ScaleRows = %v, want %v", got, want)
+	}
+}
+
+func TestCmpScalarIndicators(t *testing.T) {
+	a := NewDenseData(1, 4, []float64{1, 2, 3, 2})
+	if got, want := EqScalar(a, 2), NewDenseData(1, 4, []float64{0, 1, 0, 1}); !got.Equal(want) {
+		t.Errorf("EqScalar = %v, want %v", got, want)
+	}
+	if got, want := GeScalar(a, 2), NewDenseData(1, 4, []float64{0, 1, 1, 1}); !got.Equal(want) {
+		t.Errorf("GeScalar = %v, want %v", got, want)
+	}
+}
+
+func TestSelectRowsCols(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if got, want := SelectRows(a, []int{2, 0}), NewDenseData(2, 3, []float64{7, 8, 9, 1, 2, 3}); !got.Equal(want) {
+		t.Errorf("SelectRows = %v, want %v", got, want)
+	}
+	if got, want := SelectCols(a, []int{1}), NewDenseData(3, 1, []float64{2, 5, 8}); !got.Equal(want) {
+		t.Errorf("SelectCols = %v, want %v", got, want)
+	}
+}
+
+func TestRemoveEmptyRows(t *testing.T) {
+	a := NewDenseData(4, 2, []float64{0, 0, 1, 0, 0, 0, 0, 3})
+	got, idx := RemoveEmptyRows(a)
+	want := NewDenseData(2, 2, []float64{1, 0, 0, 3})
+	if !got.Equal(want) {
+		t.Fatalf("RemoveEmptyRows = %v, want %v", got, want)
+	}
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("retained indexes = %v, want [1 3]", idx)
+	}
+}
+
+func TestRBindCBind(t *testing.T) {
+	a := NewDenseData(1, 2, []float64{1, 2})
+	b := NewDenseData(2, 2, []float64{3, 4, 5, 6})
+	if got, want := RBind(a, b), NewDenseData(3, 2, []float64{1, 2, 3, 4, 5, 6}); !got.Equal(want) {
+		t.Errorf("RBind = %v, want %v", got, want)
+	}
+	c := NewDenseData(1, 1, []float64{9})
+	if got, want := CBind(a, c), NewDenseData(1, 3, []float64{1, 2, 9}); !got.Equal(want) {
+		t.Errorf("CBind = %v, want %v", got, want)
+	}
+}
+
+func TestApplyAndScale(t *testing.T) {
+	a := NewDenseData(1, 3, []float64{1, 4, 9})
+	a.Apply(math.Sqrt)
+	if want := NewDenseData(1, 3, []float64{1, 2, 3}); !a.Equal(want) {
+		t.Fatalf("Apply = %v, want %v", a, want)
+	}
+	a.Scale(2)
+	if want := NewDenseData(1, 3, []float64{2, 4, 6}); !a.Equal(want) {
+		t.Fatalf("Scale = %v, want %v", a, want)
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := NewDenseData(1, 2, []float64{1, 2})
+	b := NewDenseData(1, 2, []float64{1.0000001, 2})
+	if !a.EqualApprox(b, 1e-6) {
+		t.Error("EqualApprox(1e-6) = false, want true")
+	}
+	if a.EqualApprox(b, 1e-9) {
+		t.Error("EqualApprox(1e-9) = true, want false")
+	}
+	if a.EqualApprox(NewDense(2, 1), 1) {
+		t.Error("EqualApprox with shape mismatch = true, want false")
+	}
+}

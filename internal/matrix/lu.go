@@ -1,0 +1,146 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports that a factorization or solve encountered a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// LU is an LU factorization with partial pivoting: P·A = L·U with unit
+// diagonal L. It backs the general (non-SPD) solver and determinant.
+type LU struct {
+	lu    *Dense
+	pivot []int
+	sign  float64
+}
+
+// FactorLU computes the LU factorization of a square matrix with partial
+// pivoting.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("matrix: FactorLU of non-square %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivot: the largest magnitude in column k at or below the
+		// diagonal.
+		p := k
+		maxAbs := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxAbs {
+				maxAbs = v
+				p = i
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		pivot[k] = p
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			sign = -sign
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) * inv
+			lu.Set(i, k, f)
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Solve solves A·x = b using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("matrix: LU solve rhs length %d vs %d", len(b), n))
+	}
+	x := append([]float64(nil), b...)
+	// Apply the pivot permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		ri := f.lu.Row(i)
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= ri[k] * x[k]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		ri := f.lu.Row(i)
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= ri[k] * x[k]
+		}
+		d := ri[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	det := f.sign
+	for i := 0; i < f.lu.rows; i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det
+}
+
+// Solve solves the general square system a·x = b via LU with partial
+// pivoting.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns A⁻¹ for a square non-singular matrix, column by column.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	inv := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,109 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{
+		2, 1, -1,
+		-3, -1, 2,
+		-2, 1, 2,
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 4})
+	if _, err := Solve(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{3, 8, 4, 6})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-(-14)) > 1e-12 {
+		t.Fatalf("det = %v, want -14", got)
+	}
+	// Identity has determinant 1.
+	fi, err := FactorLU(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Det(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("det(I) = %v, want 1", got)
+	}
+}
+
+func TestSolveRandomProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(70))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := NewDense(n, n)
+		for i := range a.Data() {
+			a.Data()[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance guarantees non-singularity.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := MatVec(a, xTrue)
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{4, 7, 2, 6})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MatMul(a, inv).EqualApprox(Identity(2), 1e-12) {
+		t.Fatalf("A·A⁻¹ != I: %v", MatMul(a, inv))
+	}
+	if _, err := Inverse(NewDense(2, 2)); err != ErrSingular {
+		t.Fatalf("Inverse(0) err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFactorLUNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FactorLU(NewDense(2, 3))
+}

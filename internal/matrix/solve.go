@@ -1,0 +1,88 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD reports that a Cholesky factorization failed because the input
+// was not (numerically) symmetric positive definite.
+var ErrNotSPD = errors.New("matrix: not symmetric positive definite")
+
+// Cholesky computes the lower-triangular factor L with a = L·Lᵀ. The input
+// must be square and symmetric positive definite; otherwise ErrNotSPD is
+// returned. It backs the normal-equation solver used for linear regression.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("matrix: Cholesky of non-square %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			li := l.Row(i)
+			lj := l.Row(j)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, ErrNotSPD
+				}
+				li[j] = math.Sqrt(s)
+			} else {
+				li[j] = s / lj[j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveSPD solves a·x = b for symmetric positive definite a via Cholesky
+// factorization and forward/back substitution.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	if len(b) != a.rows {
+		panic(fmt.Sprintf("matrix: SolveSPD rhs length %d vs %d rows", len(b), a.rows))
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		li := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= li[k] * y[k]
+		}
+		y[i] = s / li[i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveRidge solves (aᵀa + λI)·x = aᵀb, the ridge-regularized normal
+// equations, for a dense design matrix a and response b.
+func SolveRidge(a *Dense, b []float64, lambda float64) ([]float64, error) {
+	if len(b) != a.rows {
+		panic(fmt.Sprintf("matrix: SolveRidge rhs length %d vs %d rows", len(b), a.rows))
+	}
+	ata := MatMul(a.T(), a)
+	for i := 0; i < ata.rows; i++ {
+		ata.Set(i, i, ata.At(i, i)+lambda)
+	}
+	atb := MatVec(a.T(), b)
+	return SolveSPD(ata, atb)
+}

@@ -1,0 +1,90 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskyKnownFactor(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{
+		4, 12, -16,
+		12, 37, -43,
+		-16, -43, 98,
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewDenseData(3, 3, []float64{
+		2, 0, 0,
+		6, 1, 0,
+		-8, 5, 3,
+	})
+	if !l.EqualApprox(want, 1e-12) {
+		t.Fatalf("Cholesky = %v, want %v", l, want)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err != ErrNotSPD {
+		t.Fatalf("err = %v, want ErrNotSPD", err)
+	}
+}
+
+func TestCholeskyNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Cholesky(NewDense(2, 3))
+}
+
+func TestSolveSPDRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		// Build SPD matrix A = BᵀB + n·I.
+		b := randomDense(rng, n, n)
+		a := MatMul(b.T(), b)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		rhs := MatVec(a, xTrue)
+		x, err := SolveSPD(a, rhs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestSolveRidgeRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n, p := 200, 4
+	a := NewDense(n, p)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	wTrue := []float64{1.5, -2, 0.5, 3}
+	y := MatVec(a, wTrue)
+	w, err := SolveRidge(a, y, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if math.Abs(w[i]-wTrue[i]) > 1e-5 {
+			t.Fatalf("w[%d] = %v, want %v", i, w[i], wTrue[i])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	d := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		d.Set(i, i, 1)
+	}
+	return d
+}
+
+// Diag returns a square matrix with v on its diagonal.
+func Diag(v []float64) *Dense {
+	d := NewDense(len(v), len(v))
+	for i, x := range v {
+		d.Set(i, i, x)
+	}
+	return d
+}
+
+// DiagOf extracts the main diagonal of a matrix.
+func DiagOf(a *Dense) []float64 {
+	n := a.rows
+	if a.cols < n {
+		n = a.cols
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a.At(i, i)
+	}
+	return out
+}
+
+// Trace returns the sum of the main diagonal of a square matrix.
+func Trace(a *Dense) float64 {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("matrix: Trace of non-square %dx%d", a.rows, a.cols))
+	}
+	s := 0.0
+	for i := 0; i < a.rows; i++ {
+		s += a.At(i, i)
+	}
+	return s
+}
+
+// Seq returns the vector (from, from+1, ..., to) inclusive, the DML seq()
+// primitive.
+func Seq(from, to int) []float64 {
+	if to < from {
+		return nil
+	}
+	out := make([]float64, to-from+1)
+	for i := range out {
+		out[i] = float64(from + i)
+	}
+	return out
+}
+
+// NormL1 returns the sum of absolute values of all elements.
+func NormL1(a *Dense) float64 {
+	s := 0.0
+	for _, v := range a.data {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NormFrobenius returns the Frobenius norm sqrt(sum a_ij²).
+func NormFrobenius(a *Dense) float64 {
+	s := 0.0
+	for _, v := range a.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// NormMax returns the largest absolute element.
+func NormMax(a *Dense) float64 {
+	s := 0.0
+	for _, v := range a.data {
+		if x := math.Abs(v); x > s {
+			s = x
+		}
+	}
+	return s
+}
+
+// ScaleCSR returns a copy of m with every stored value multiplied by s.
+func ScaleCSR(m *CSR, s float64) *CSR {
+	out := m.Clone()
+	for i := range out.val {
+		out.val[i] *= s
+	}
+	return out
+}
+
+// AddCSR returns the sparse sum a + b.
+func AddCSR(a, b *CSR) *CSR {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("matrix: AddCSR shape mismatch %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	rowPtr := make([]int, a.rows+1)
+	var colIdx []int
+	var val []float64
+	for i := 0; i < a.rows; i++ {
+		ac, av := a.RowEntries(i)
+		bc, bv := b.RowEntries(i)
+		x, y := 0, 0
+		for x < len(ac) || y < len(bc) {
+			switch {
+			case y == len(bc) || (x < len(ac) && ac[x] < bc[y]):
+				colIdx = append(colIdx, ac[x])
+				val = append(val, av[x])
+				x++
+			case x == len(ac) || bc[y] < ac[x]:
+				colIdx = append(colIdx, bc[y])
+				val = append(val, bv[y])
+				y++
+			default:
+				if s := av[x] + bv[y]; s != 0 {
+					colIdx = append(colIdx, ac[x])
+					val = append(val, s)
+				}
+				x++
+				y++
+			}
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	return &CSR{rows: a.rows, cols: a.cols, rowPtr: rowPtr, colIdx: colIdx, val: val}
+}
+
+// RowL2Norms returns the Euclidean norm of each row of a CSR matrix, used
+// for normalization and similarity computations over slice matrices.
+func RowL2Norms(m *CSR) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		_, vals := m.RowEntries(i)
+		s := 0.0
+		for _, v := range vals {
+			s += v * v
+		}
+		out[i] = math.Sqrt(s)
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestIdentityAndDiag(t *testing.T) {
+	i3 := Identity(3)
+	if Trace(i3) != 3 {
+		t.Errorf("Trace(I3) = %v", Trace(i3))
+	}
+	d := Diag([]float64{1, 2, 3})
+	if !reflect.DeepEqual(DiagOf(d), []float64{1, 2, 3}) {
+		t.Errorf("DiagOf = %v", DiagOf(d))
+	}
+	if d.At(0, 1) != 0 {
+		t.Error("off-diagonal not zero")
+	}
+}
+
+func TestTraceNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Trace(NewDense(2, 3))
+}
+
+func TestSeq(t *testing.T) {
+	if got := Seq(1, 4); !reflect.DeepEqual(got, []float64{1, 2, 3, 4}) {
+		t.Errorf("Seq(1,4) = %v", got)
+	}
+	if got := Seq(5, 4); got != nil {
+		t.Errorf("Seq(5,4) = %v, want nil", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{3, -4, 0, 0})
+	if got := NormL1(a); got != 7 {
+		t.Errorf("NormL1 = %v, want 7", got)
+	}
+	if got := NormFrobenius(a); math.Abs(got-5) > 1e-12 {
+		t.Errorf("NormFrobenius = %v, want 5", got)
+	}
+	if got := NormMax(a); got != 4 {
+		t.Errorf("NormMax = %v, want 4", got)
+	}
+}
+
+func TestScaleCSR(t *testing.T) {
+	m := CSRFromDense(NewDenseData(2, 2, []float64{1, 0, 2, 3}))
+	s := ScaleCSR(m, -2)
+	want := NewDenseData(2, 2, []float64{-2, 0, -4, -6})
+	if !s.ToDense().Equal(want) {
+		t.Fatalf("ScaleCSR = %v, want %v", s.ToDense(), want)
+	}
+	// Original untouched.
+	if m.At(0, 0) != 1 {
+		t.Fatal("ScaleCSR mutated input")
+	}
+}
+
+func TestAddCSRMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 40; trial++ {
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randomCSR(rng, r, c, 0.4)
+		b := randomCSR(rng, r, c, 0.4)
+		got := AddCSR(a, b).ToDense()
+		want := Add(a.ToDense(), b.ToDense())
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: AddCSR mismatch", trial)
+		}
+	}
+}
+
+func TestAddCSRCancellationDropsZeros(t *testing.T) {
+	a := CSRFromDense(NewDenseData(1, 2, []float64{5, 1}))
+	b := CSRFromDense(NewDenseData(1, 2, []float64{-5, 1}))
+	sum := AddCSR(a, b)
+	if sum.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 (cancelled entry dropped)", sum.NNZ())
+	}
+	if sum.At(0, 1) != 2 {
+		t.Fatalf("At(0,1) = %v, want 2", sum.At(0, 1))
+	}
+}
+
+func TestAddCSRShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AddCSR(CSRFromTriples(1, 2, nil), CSRFromTriples(2, 2, nil))
+}
+
+func TestRowL2Norms(t *testing.T) {
+	m := CSRFromDense(NewDenseData(2, 3, []float64{3, 4, 0, 0, 0, 0}))
+	got := RowL2Norms(m)
+	if math.Abs(got[0]-5) > 1e-12 || got[1] != 0 {
+		t.Fatalf("RowL2Norms = %v, want [5 0]", got)
+	}
+}
+
+func TestUpperTriEq(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{
+		9, 1, 2,
+		1, 9, 1,
+		2, 1, 9,
+	})
+	rows, cols := UpperTriEq(a, 1)
+	if !reflect.DeepEqual(rows, []int{0, 1}) || !reflect.DeepEqual(cols, []int{1, 2}) {
+		t.Fatalf("UpperTriEq = %v/%v, want [0 1]/[1 2]", rows, cols)
+	}
+}
+
+func TestUpperTriEqNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	UpperTriEq(NewDense(2, 3), 1)
+}
+
+func TestRecip(t *testing.T) {
+	a := NewDenseData(1, 3, []float64{2, 0, -4})
+	got := Recip(a)
+	want := NewDenseData(1, 3, []float64{0.5, 0, -0.25})
+	if !got.Equal(want) {
+		t.Fatalf("Recip = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,78 @@
+package ml
+
+import "fmt"
+
+// GroupRates summarizes the confusion behaviour of a binary classifier on
+// one subgroup, the quantities behind the standard fairness criteria.
+type GroupRates struct {
+	N            int     // subgroup rows
+	PositiveRate float64 // P(ŷ=positive | group): selection rate
+	TPR          float64 // true positive rate (recall on positives)
+	FPR          float64 // false positive rate
+	FNR          float64 // false negative rate
+}
+
+// BinaryGroupRates computes the selection and error rates of a binary
+// classifier restricted to the rows where member[i] is true. positive is
+// the favourable label. Rates over empty denominators are 0.
+func BinaryGroupRates(y, yhat []float64, member []bool, positive float64) (GroupRates, error) {
+	if len(y) != len(yhat) || len(y) != len(member) {
+		return GroupRates{}, fmt.Errorf("ml: mismatched lengths %d/%d/%d", len(y), len(yhat), len(member))
+	}
+	var g GroupRates
+	var tp, fp, tn, fn int
+	for i := range y {
+		if !member[i] {
+			continue
+		}
+		g.N++
+		predPos := yhat[i] == positive
+		actPos := y[i] == positive
+		switch {
+		case predPos && actPos:
+			tp++
+		case predPos && !actPos:
+			fp++
+		case !predPos && actPos:
+			fn++
+		default:
+			tn++
+		}
+	}
+	if g.N > 0 {
+		g.PositiveRate = float64(tp+fp) / float64(g.N)
+	}
+	if tp+fn > 0 {
+		g.TPR = float64(tp) / float64(tp+fn)
+		g.FNR = float64(fn) / float64(tp+fn)
+	}
+	if fp+tn > 0 {
+		g.FPR = float64(fp) / float64(fp+tn)
+	}
+	return g, nil
+}
+
+// DemographicParityGap returns |selectionRate(A) − selectionRate(B)|, the
+// demographic parity violation between two subgroups.
+func DemographicParityGap(a, b GroupRates) float64 {
+	return abs(a.PositiveRate - b.PositiveRate)
+}
+
+// EqualizedOddsGap returns max(|TPR gap|, |FPR gap|), the equalized-odds
+// violation between two subgroups (Hardt et al.'s criterion, the
+// disparate-mistreatment notion cited by the paper's future work).
+func EqualizedOddsGap(a, b GroupRates) float64 {
+	t := abs(a.TPR - b.TPR)
+	f := abs(a.FPR - b.FPR)
+	if f > t {
+		return f
+	}
+	return t
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,63 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinaryGroupRates(t *testing.T) {
+	//            TP  FP  FN  TN  (group members only)
+	y := []float64{1, 0, 1, 0, 1, 1}
+	yhat := []float64{1, 1, 0, 0, 1, 0}
+	member := []bool{true, true, true, true, false, false}
+	g, err := BinaryGroupRates(y, yhat, member, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 {
+		t.Fatalf("N = %d, want 4", g.N)
+	}
+	if math.Abs(g.PositiveRate-0.5) > 1e-12 {
+		t.Errorf("positive rate = %v, want 0.5", g.PositiveRate)
+	}
+	if math.Abs(g.TPR-0.5) > 1e-12 {
+		t.Errorf("TPR = %v, want 0.5", g.TPR)
+	}
+	if math.Abs(g.FPR-0.5) > 1e-12 {
+		t.Errorf("FPR = %v, want 0.5", g.FPR)
+	}
+	if math.Abs(g.FNR-0.5) > 1e-12 {
+		t.Errorf("FNR = %v, want 0.5", g.FNR)
+	}
+}
+
+func TestBinaryGroupRatesEmptyGroup(t *testing.T) {
+	g, err := BinaryGroupRates([]float64{1}, []float64{1}, []bool{false}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 0 || g.PositiveRate != 0 || g.TPR != 0 {
+		t.Errorf("empty group rates = %+v", g)
+	}
+}
+
+func TestBinaryGroupRatesMismatch(t *testing.T) {
+	if _, err := BinaryGroupRates([]float64{1}, []float64{1, 2}, []bool{true}, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFairnessGaps(t *testing.T) {
+	a := GroupRates{PositiveRate: 0.8, TPR: 0.9, FPR: 0.3}
+	b := GroupRates{PositiveRate: 0.5, TPR: 0.7, FPR: 0.35}
+	if got := DemographicParityGap(a, b); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("parity gap = %v, want 0.3", got)
+	}
+	if got := EqualizedOddsGap(a, b); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("odds gap = %v, want 0.2 (TPR gap dominates)", got)
+	}
+	b.FPR = 0.8
+	if got := EqualizedOddsGap(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("odds gap = %v, want 0.5 (FPR gap dominates)", got)
+	}
+}

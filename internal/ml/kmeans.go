@@ -1,0 +1,153 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sliceline/internal/matrix"
+)
+
+// KMeans holds the result of Lloyd's algorithm: cluster centroids and the
+// assignment of every input row. The paper uses k-means to derive artificial
+// labels for the unlabeled USCensus dataset.
+type KMeans struct {
+	Centroids *matrix.Dense // k × d
+	Assign    []int         // cluster per row
+	Iters     int
+	Inertia   float64 // total within-cluster squared distance
+}
+
+// KMeansConfig controls clustering.
+type KMeansConfig struct {
+	K        int   // number of clusters; must be >= 1
+	MaxIters int   // <= 0 defaults to 50
+	Seed     int64 // RNG seed for centroid init
+}
+
+// TrainKMeans runs Lloyd's algorithm with k-means++ style seeding on a dense
+// feature matrix.
+func TrainKMeans(x *matrix.Dense, cfg KMeansConfig) (*KMeans, error) {
+	n, d := x.Rows(), x.Cols()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("ml: k = %d, want >= 1", cfg.K)
+	}
+	if n < cfg.K {
+		return nil, errors.New("ml: fewer rows than clusters")
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 50
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// k-means++ seeding.
+	cent := matrix.NewDense(cfg.K, d)
+	copy(cent.Row(0), x.Row(rng.Intn(n)))
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sqDist(x.Row(i), cent.Row(0))
+	}
+	for c := 1; c < cfg.K; c++ {
+		total := 0.0
+		for _, v := range dist {
+			total += v
+		}
+		pick := 0
+		if total > 0 {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i, v := range dist {
+				acc += v
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		} else {
+			pick = rng.Intn(n)
+		}
+		copy(cent.Row(c), x.Row(pick))
+		for i := range dist {
+			if d2 := sqDist(x.Row(i), cent.Row(c)); d2 < dist[i] {
+				dist[i] = d2
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	iters := 0
+	for it := 0; it < cfg.MaxIters; it++ {
+		iters = it + 1
+		changed := 0
+		matrix.ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best, bc := math.Inf(1), 0
+				for c := 0; c < cfg.K; c++ {
+					if d2 := sqDist(x.Row(i), cent.Row(c)); d2 < best {
+						best, bc = d2, c
+					}
+				}
+				if assign[i] != bc {
+					assign[i] = bc
+					// changed is updated below to avoid a data race.
+				}
+			}
+		})
+		// Recompute centroids and count moves serially (n·d work dominates).
+		newCent := matrix.NewDense(cfg.K, d)
+		counts := make([]int, cfg.K)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			nc := newCent.Row(c)
+			for j, v := range x.Row(i) {
+				nc[j] += v
+			}
+		}
+		for c := 0; c < cfg.K; c++ {
+			if counts[c] == 0 {
+				copy(newCent.Row(c), x.Row(rng.Intn(n)))
+				continue
+			}
+			inv := 1.0 / float64(counts[c])
+			nc := newCent.Row(c)
+			for j := range nc {
+				nc[j] *= inv
+			}
+		}
+		for c := 0; c < cfg.K; c++ {
+			if sqDist(cent.Row(c), newCent.Row(c)) > 1e-12 {
+				changed++
+			}
+		}
+		cent = newCent
+		if changed == 0 {
+			break
+		}
+	}
+	inertia := 0.0
+	for i := 0; i < n; i++ {
+		inertia += sqDist(x.Row(i), cent.Row(assign[i]))
+	}
+	return &KMeans{Centroids: cent, Assign: assign, Iters: iters, Inertia: inertia}, nil
+}
+
+// Labels returns the cluster assignments as float64 labels, suitable as an
+// artificial label vector y.
+func (k *KMeans) Labels() []float64 {
+	out := make([]float64, len(k.Assign))
+	for i, a := range k.Assign {
+		out[i] = float64(a)
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

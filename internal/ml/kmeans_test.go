@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"sliceline/internal/matrix"
+)
+
+func clusteredData(rng *rand.Rand, perCluster int, centers [][]float64) *matrix.Dense {
+	n := perCluster * len(centers)
+	d := len(centers[0])
+	x := matrix.NewDense(n, d)
+	for c, ctr := range centers {
+		for i := 0; i < perCluster; i++ {
+			row := x.Row(c*perCluster + i)
+			for j := range row {
+				row[j] = ctr[j] + rng.NormFloat64()*0.1
+			}
+		}
+	}
+	return x
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := clusteredData(rng, 50, [][]float64{{0, 0}, {10, 10}, {-10, 10}})
+	km, err := TrainKMeans(x, KMeansConfig{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All rows of each ground-truth cluster must share one assignment.
+	for c := 0; c < 3; c++ {
+		first := km.Assign[c*50]
+		for i := 1; i < 50; i++ {
+			if km.Assign[c*50+i] != first {
+				t.Fatalf("cluster %d split across assignments", c)
+			}
+		}
+	}
+	if km.Inertia > 50*3*2*0.1*0.1*10 {
+		t.Fatalf("inertia = %v, unexpectedly large", km.Inertia)
+	}
+}
+
+func TestKMeansLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := clusteredData(rng, 10, [][]float64{{0, 0}, {5, 5}})
+	km, err := TrainKMeans(x, KMeansConfig{K: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := km.Labels()
+	if len(labels) != 20 {
+		t.Fatalf("labels = %d, want 20", len(labels))
+	}
+	distinct := map[float64]bool{}
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	if len(distinct) != 2 {
+		t.Fatalf("distinct labels = %d, want 2", len(distinct))
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	x := matrix.NewDense(3, 2)
+	if _, err := TrainKMeans(x, KMeansConfig{K: 0}); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := TrainKMeans(x, KMeansConfig{K: 5}); err == nil {
+		t.Error("expected error for k > n")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	x := matrix.NewDenseData(3, 1, []float64{0, 10, 20})
+	km, err := TrainKMeans(x, KMeansConfig{K: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.Inertia > 1e-9 {
+		t.Fatalf("inertia = %v, want ~0 when k = n", km.Inertia)
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := clusteredData(rng, 20, [][]float64{{0, 0}, {8, 8}})
+	a, err := TrainKMeans(x, KMeansConfig{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainKMeans(x, KMeansConfig{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}

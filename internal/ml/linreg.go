@@ -1,0 +1,114 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sliceline/internal/matrix"
+)
+
+// LinReg is a ridge-regularized linear regression model over a sparse
+// design matrix, the `lm` algorithm of the paper's evaluation.
+type LinReg struct {
+	W         []float64 // one weight per one-hot column
+	Intercept float64
+	Lambda    float64
+	Iters     int // conjugate-gradient iterations actually used
+}
+
+// LinRegConfig controls training.
+type LinRegConfig struct {
+	Lambda   float64 // ridge penalty; <= 0 defaults to 1e-3
+	MaxIters int     // CG iteration cap; <= 0 defaults to 200
+	Tol      float64 // residual-norm stop; <= 0 defaults to 1e-10
+}
+
+func (c *LinRegConfig) defaults() {
+	if c.Lambda <= 0 {
+		c.Lambda = 1e-3
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 200
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-10
+	}
+}
+
+// TrainLinReg fits (XᵀX + λI)w = Xᵀ(y - ȳ) by conjugate gradient, operating
+// matrix-free on the sparse one-hot design so wide encodings (KDD98 has
+// l=8378 columns) never materialize a dense Gram matrix. The intercept is
+// the label mean.
+func TrainLinReg(x *matrix.CSR, y []float64, cfg LinRegConfig) (*LinReg, error) {
+	if x.Rows() != len(y) {
+		return nil, fmt.Errorf("ml: %d rows vs %d labels", x.Rows(), len(y))
+	}
+	if x.Rows() == 0 {
+		return nil, errors.New("ml: empty training set")
+	}
+	cfg.defaults()
+	n, l := x.Rows(), x.Cols()
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	yc := make([]float64, n)
+	for i, v := range y {
+		yc[i] = v - mean
+	}
+	xt := x.T()
+	// b = Xᵀ yc
+	b := matrix.MulCSRVec(xt, yc)
+	// A·w = Xᵀ(X·w) + λw, applied matrix-free.
+	apply := func(w []float64) []float64 {
+		xw := matrix.MulCSRVec(x, w)
+		out := matrix.MulCSRVec(xt, xw)
+		for i := range out {
+			out[i] += cfg.Lambda * w[i]
+		}
+		return out
+	}
+	w := make([]float64, l)
+	r := append([]float64(nil), b...)
+	p := append([]float64(nil), b...)
+	rs := dot(r, r)
+	iters := 0
+	for k := 0; k < cfg.MaxIters && rs > cfg.Tol; k++ {
+		ap := apply(p)
+		alpha := rs / dot(p, ap)
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			break
+		}
+		for i := range w {
+			w[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rsNew := dot(r, r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+		iters = k + 1
+	}
+	return &LinReg{W: w, Intercept: mean, Lambda: cfg.Lambda, Iters: iters}, nil
+}
+
+// Predict returns ŷ for each row of x.
+func (m *LinReg) Predict(x *matrix.CSR) []float64 {
+	out := matrix.MulCSRVec(x, m.W)
+	for i := range out {
+		out[i] += m.Intercept
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ConfusionMatrix is the label-by-label count matrix of true versus
+// predicted classes — the manual model-error analysis tool the paper's
+// introduction contrasts with automated slice finding.
+type ConfusionMatrix struct {
+	Classes []float64 // sorted distinct labels
+	Counts  [][]int   // Counts[i][j] = rows with true class i predicted as j
+	N       int
+}
+
+// Confusion builds the confusion matrix of y (true) versus yhat (predicted).
+func Confusion(y, yhat []float64) (*ConfusionMatrix, error) {
+	if len(y) != len(yhat) {
+		return nil, fmt.Errorf("ml: %d labels vs %d predictions", len(y), len(yhat))
+	}
+	seen := map[float64]bool{}
+	for _, v := range y {
+		seen[v] = true
+	}
+	for _, v := range yhat {
+		seen[v] = true
+	}
+	classes := make([]float64, 0, len(seen))
+	for v := range seen {
+		classes = append(classes, v)
+	}
+	sort.Float64s(classes)
+	idx := make(map[float64]int, len(classes))
+	for i, v := range classes {
+		idx[v] = i
+	}
+	cm := &ConfusionMatrix{Classes: classes, N: len(y)}
+	cm.Counts = make([][]int, len(classes))
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, len(classes))
+	}
+	for i := range y {
+		cm.Counts[idx[y[i]]][idx[yhat[i]]]++
+	}
+	return cm, nil
+}
+
+// Accuracy returns the fraction of correctly classified rows.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	if cm.N == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range cm.Counts {
+		correct += cm.Counts[i][i]
+	}
+	return float64(correct) / float64(cm.N)
+}
+
+// Precision returns the precision of the given class (true positives over
+// predicted positives); 0 when the class was never predicted.
+func (cm *ConfusionMatrix) Precision(class float64) float64 {
+	j := cm.classIndex(class)
+	if j < 0 {
+		return 0
+	}
+	pred := 0
+	for i := range cm.Counts {
+		pred += cm.Counts[i][j]
+	}
+	if pred == 0 {
+		return 0
+	}
+	return float64(cm.Counts[j][j]) / float64(pred)
+}
+
+// Recall returns the recall of the given class (true positives over actual
+// positives); 0 when the class never occurs.
+func (cm *ConfusionMatrix) Recall(class float64) float64 {
+	i := cm.classIndex(class)
+	if i < 0 {
+		return 0
+	}
+	actual := 0
+	for j := range cm.Counts[i] {
+		actual += cm.Counts[i][j]
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(cm.Counts[i][i]) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for a class.
+func (cm *ConfusionMatrix) F1(class float64) float64 {
+	p := cm.Precision(class)
+	r := cm.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func (cm *ConfusionMatrix) classIndex(class float64) int {
+	for i, v := range cm.Classes {
+		if v == class {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the matrix with true classes as rows.
+func (cm *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprint(&b, "true\\pred")
+	for _, c := range cm.Classes {
+		fmt.Fprintf(&b, "\t%g", c)
+	}
+	for i, c := range cm.Classes {
+		fmt.Fprintf(&b, "\n%g", c)
+		for j := range cm.Classes {
+			fmt.Fprintf(&b, "\t%d", cm.Counts[i][j])
+		}
+	}
+	return b.String()
+}
+
+// RMSE returns the root mean squared error of predictions.
+func RMSE(y, yhat []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range y {
+		d := y[i] - yhat[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(y)))
+}
+
+// R2 returns the coefficient of determination; 1 is a perfect fit, 0 the
+// mean predictor, negative worse than the mean.
+func R2(y, yhat []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	ssRes, ssTot := 0.0, 0.0
+	for i := range y {
+		d := y[i] - yhat[i]
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,97 @@
+package ml
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	y := []float64{0, 0, 1, 1, 1, 2}
+	yhat := []float64{0, 1, 1, 1, 0, 2}
+	cm, err := Confusion(y, yhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Classes) != 3 {
+		t.Fatalf("classes = %v", cm.Classes)
+	}
+	if cm.Counts[0][0] != 1 || cm.Counts[0][1] != 1 {
+		t.Errorf("row 0 = %v", cm.Counts[0])
+	}
+	if cm.Counts[1][1] != 2 || cm.Counts[1][0] != 1 {
+		t.Errorf("row 1 = %v", cm.Counts[1])
+	}
+	if got := cm.Accuracy(); math.Abs(got-4.0/6.0) > 1e-12 {
+		t.Errorf("accuracy = %v", got)
+	}
+}
+
+func TestConfusionMismatch(t *testing.T) {
+	if _, err := Confusion([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	// Class 1: predicted 3 times (2 correct), actually occurs 3 times
+	// (2 found).
+	y := []float64{1, 1, 1, 0, 0, 0}
+	yhat := []float64{1, 1, 0, 1, 0, 0}
+	cm, err := Confusion(y, yhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := cm.Precision(1); math.Abs(p-2.0/3.0) > 1e-12 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := cm.Recall(1); math.Abs(r-2.0/3.0) > 1e-12 {
+		t.Errorf("recall = %v", r)
+	}
+	if f := cm.F1(1); math.Abs(f-2.0/3.0) > 1e-12 {
+		t.Errorf("f1 = %v", f)
+	}
+	if cm.Precision(99) != 0 || cm.Recall(99) != 0 || cm.F1(99) != 0 {
+		t.Error("unknown class should score 0")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	cm, err := Confusion([]float64{0, 1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cm.String()
+	if !strings.Contains(s, "true\\pred") || !strings.Contains(s, "\t1") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("RMSE perfect = %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+	if got := RMSE(nil, nil); got != 0 {
+		t.Errorf("RMSE empty = %v", got)
+	}
+}
+
+func TestR2(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if got := R2(y, y); got != 1 {
+		t.Errorf("R2 perfect = %v", got)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := R2(y, mean); math.Abs(got) > 1e-12 {
+		t.Errorf("R2 mean predictor = %v", got)
+	}
+	if got := R2([]float64{5, 5}, []float64{5, 5}); got != 1 {
+		t.Errorf("R2 constant perfect = %v", got)
+	}
+	if got := R2([]float64{5, 5}, []float64{1, 1}); got != 0 {
+		t.Errorf("R2 constant wrong = %v", got)
+	}
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sliceline/internal/frame"
+)
+
+func plantedDataset(rng *rand.Rand, n int) (*frame.Dataset, []float64) {
+	ds := &frame.Dataset{
+		Name: "planted",
+		X0:   frame.NewIntMatrix(n, 3),
+		Features: []frame.Feature{
+			{Name: "region", Domain: 3, Labels: []string{"north", "south", "east"}},
+			{Name: "plan", Domain: 2, Labels: []string{"basic", "premium"}},
+			{Name: "tier", Domain: 2},
+		},
+	}
+	e := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			ds.X0.Set(i, j, 1+rng.Intn(ds.Features[j].Domain))
+		}
+		if ds.X0.At(i, 0) == 2 && ds.X0.At(i, 1) == 1 {
+			e[i] = 1
+		} else if rng.Float64() < 0.05 {
+			e[i] = 1
+		}
+	}
+	return ds, e
+}
+
+func TestGenerateFullReport(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds, e := plantedDataset(rng, 2000)
+	var buf bytes.Buffer
+	if err := Generate(&buf, ds, e, Options{K: 3, Sigma: 20, IncludeTree: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Model debugging report: planted",
+		"## Dataset",
+		"## Model errors",
+		"## Problematic slices",
+		"region=south", // the planted slice, decoded with labels
+		"plan=basic",
+		"## Enumeration",
+		"## Non-overlapping partition",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateWithoutTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds, e := plantedDataset(rng, 800)
+	var buf bytes.Buffer
+	if err := Generate(&buf, ds, e, Options{Sigma: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Non-overlapping partition") {
+		t.Error("tree section present despite IncludeTree=false")
+	}
+}
+
+func TestGenerateNoProblematicSlices(t *testing.T) {
+	// Uniform errors: no slice scores above zero.
+	ds := &frame.Dataset{
+		Name:     "uniform",
+		X0:       frame.NewIntMatrix(200, 2),
+		Features: []frame.Feature{{Name: "a", Domain: 2}, {Name: "b", Domain: 2}},
+	}
+	e := make([]float64, 200)
+	for i := 0; i < 200; i++ {
+		ds.X0.Set(i, 0, 1+i%2)
+		ds.X0.Set(i, 1, 1+(i/2)%2)
+		e[i] = 0.5
+	}
+	var buf bytes.Buffer
+	if err := Generate(&buf, ds, e, Options{Sigma: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No slice scores above 0") {
+		t.Errorf("expected empty-result message:\n%s", buf.String())
+	}
+}
+
+func TestGeneratePropagatesError(t *testing.T) {
+	ds := &frame.Dataset{
+		Name:     "bad",
+		X0:       frame.NewIntMatrix(2, 1),
+		Features: []frame.Feature{{Name: "f", Domain: 1}},
+	}
+	ds.X0.Set(0, 0, 1)
+	ds.X0.Set(1, 0, 1)
+	var buf bytes.Buffer
+	if err := Generate(&buf, ds, []float64{1}, Options{}); err == nil {
+		t.Fatal("expected error for mismatched vector")
+	}
+}
+
+func TestErrStats(t *testing.T) {
+	s := errStats([]float64{0, 0, 1, 2, 3})
+	if s.mean != 1.2 || s.max != 3 || s.median != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.zeroFrac != 0.4 {
+		t.Errorf("zeroFrac = %v, want 0.4", s.zeroFrac)
+	}
+	if z := errStats(nil); z.mean != 0 {
+		t.Error("empty input should yield zero stats")
+	}
+}
