@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sliceline/internal/matrix"
 )
@@ -168,46 +169,71 @@ func evalBlockSerial(x *matrix.CSR, e, w []float64, cols [][]int, L, s0, s1 int,
 // evalBlockRowParallel evaluates one block with row-partitioned parallelism
 // (the data-parallel plan: rows of X are scanned concurrently and per-worker
 // partial statistics are merged), used when all slices fit a single block.
+//
+// Partials are merged in row-chunk order, not goroutine-completion order:
+// float64 addition is not associative, so a completion-order merge would make
+// the same run return se values that differ in the last ULPs from one
+// invocation to the next. The row chunking itself is deterministic (it
+// depends only on n and MaxWorkers), so repeated runs are bit-identical.
 func evalBlockRowParallel(x *matrix.CSR, e, w []float64, cols [][]int, L, s0, s1 int, ss, se, sm []float64) {
 	width := s1 - s0
+	n := x.Rows()
 	workers := matrix.MaxWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		evalBlockSerial(x, e, w, cols, L, s0, s1, ss, se, sm)
+		return
+	}
 	type partial struct {
 		ss, se, sm []float64
 	}
-	results := make(chan partial, workers+1)
-	n := x.Rows()
+	chunk := (n + workers - 1) / workers
+	nChunks := (n + chunk - 1) / chunk
+	partials := make([]partial, nChunks)
 	want := int32(L)
-	matrix.ParallelFor(n, func(lo, hi int) {
-		bi := buildBlockIndex(x.Cols(), cols, s0, s1)
-		p := partial{
-			ss: make([]float64, width),
-			se: make([]float64, width),
-			sm: make([]float64, width),
-		}
-		for i := lo; i < hi; i++ {
-			rowCols, _ := x.RowEntries(i)
-			bi.scanRow(rowCols)
-			ei := e[i]
-			wi := 1.0
-			if w != nil {
-				wi = w[i]
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
 			}
-			for _, s := range bi.touched {
-				if bi.counts[s] == want {
-					p.ss[s] += wi
-					p.se[s] += wi * ei
-					if ei > p.sm[s] {
-						p.sm[s] = ei
-					}
+			bi := buildBlockIndex(x.Cols(), cols, s0, s1)
+			p := partial{
+				ss: make([]float64, width),
+				se: make([]float64, width),
+				sm: make([]float64, width),
+			}
+			for i := lo; i < hi; i++ {
+				rowCols, _ := x.RowEntries(i)
+				bi.scanRow(rowCols)
+				ei := e[i]
+				wi := 1.0
+				if w != nil {
+					wi = w[i]
 				}
-				bi.counts[s] = 0
+				for _, s := range bi.touched {
+					if bi.counts[s] == want {
+						p.ss[s] += wi
+						p.se[s] += wi * ei
+						if ei > p.sm[s] {
+							p.sm[s] = ei
+						}
+					}
+					bi.counts[s] = 0
+				}
+				bi.touched = bi.touched[:0]
 			}
-			bi.touched = bi.touched[:0]
-		}
-		results <- p
-	})
-	close(results)
-	for p := range results {
+			partials[c] = p
+		}(c)
+	}
+	wg.Wait()
+	for _, p := range partials {
 		for s := 0; s < width; s++ {
 			g := s + s0
 			ss[g] += p.ss[s]

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sliceline/internal/frame"
+	"sliceline/internal/matrix"
+)
+
+// benchEvalData builds a one-hot encoded random dataset plus the level-2
+// candidate list (all cross-feature column pairs), the workload of the
+// hottest enumeration levels.
+func benchEvalData(b *testing.B, n, m, maxDom int) (*matrix.CSR, []float64, [][]int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	ds, e := randomDataset(rng, n, m, maxDom)
+	enc, err := frame.OneHot(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pairs [][]int
+	for c1 := 0; c1 < enc.Width(); c1++ {
+		for c2 := c1 + 1; c2 < enc.Width(); c2++ {
+			if enc.FeatureOf(c1) != enc.FeatureOf(c2) {
+				pairs = append(pairs, []int{c1, c2})
+			}
+		}
+	}
+	return enc.X, e, pairs
+}
+
+// benchEvalPartition drives the fused sparse kernel at one block size. The
+// allocation report guards the kernel's steady-state footprint: the block
+// index and partial vectors are the only expected allocations, and a
+// regression here multiplies across every level of every run.
+func benchEvalPartition(b *testing.B, blockSize int, weighted bool) {
+	x, e, cols := benchEvalData(b, 2000, 6, 5)
+	var w []float64
+	if weighted {
+		w = make([]float64, len(e))
+		for i := range w {
+			w[i] = 1 + float64(i%3)
+		}
+	}
+	ss := make([]float64, len(cols))
+	se := make([]float64, len(cols))
+	sm := make([]float64, len(cols))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ss {
+			ss[j], se[j], sm[j] = 0, 0, 0
+		}
+		EvalPartitionWeighted(x, e, w, cols, 2, blockSize, ss, se, sm)
+	}
+}
+
+func BenchmarkEvalPartitionBlock1(b *testing.B)   { benchEvalPartition(b, 1, false) }
+func BenchmarkEvalPartitionBlock16(b *testing.B)  { benchEvalPartition(b, 16, false) }
+func BenchmarkEvalPartitionBlockAll(b *testing.B) { benchEvalPartition(b, 1<<30, false) }
+func BenchmarkEvalPartitionWeighted(b *testing.B) { benchEvalPartition(b, 16, true) }
+
+// benchEvalRun measures a full enumeration through either the fused sparse
+// kernel or the dense chunked kernel (the Section 4.4 comparison).
+func benchEvalRun(b *testing.B, dense bool) {
+	rng := rand.New(rand.NewSource(8))
+	ds, e := randomDataset(rng, 2000, 5, 4)
+	cfg := Config{K: 4, Sigma: 20, Alpha: 0.95, DenseEval: dense}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ds, e, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalRunFused(b *testing.B) { benchEvalRun(b, false) }
+func BenchmarkEvalRunDense(b *testing.B) { benchEvalRun(b, true) }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"sliceline/internal/fptol"
 	"sliceline/internal/frame"
 )
 
@@ -75,7 +76,7 @@ func TestEvalPartitionAdditive(t *testing.T) {
 		if ss[i] != ssW[i] {
 			t.Errorf("slice %d: partitioned ss %v vs whole %v", i, ss[i], ssW[i])
 		}
-		if diff := se[i] - seW[i]; diff > 1e-9 || diff < -1e-9 {
+		if !fptol.DefaultTol.Close(se[i], seW[i]) {
 			t.Errorf("slice %d: partitioned se %v vs whole %v", i, se[i], seW[i])
 		}
 		// sm accumulates via max, which is order-independent.

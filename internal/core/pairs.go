@@ -305,6 +305,19 @@ func sortLevel(l *level) {
 	l.ss = reorder(l.ss)
 }
 
+// equalCols reports whether two sorted column lists denote the same slice.
+func equalCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func lessCols(a, b []int) bool {
 	for k := 0; k < len(a) && k < len(b); k++ {
 		if a[k] != b[k] {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"sliceline/internal/fptol"
 	"sliceline/internal/matrix"
 )
 
@@ -108,7 +109,7 @@ func TestUpperBoundDominatesChildren(t *testing.T) {
 				if css < float64(sigma) {
 					continue
 				}
-				if sc.score(css, cse) > ub+1e-9 {
+				if s := sc.score(css, cse); s > ub && !fptol.DefaultTol.Close(s, ub) {
 					return false
 				}
 			}

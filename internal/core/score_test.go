@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"sliceline/internal/fptol"
 )
 
 func TestScoreOfFullDatasetIsZero(t *testing.T) {
@@ -50,7 +52,7 @@ func TestScoreBalanceAtAlphaHalf(t *testing.T) {
 	seB := 2 * r * (s / 2)
 	a := sc.score(s, seA)
 	b := sc.score(s/2, seB)
-	if math.Abs(a-b) > 1e-9 {
+	if !fptol.DefaultTol.Close(a, b) {
 		t.Errorf("balanced scores differ: %v vs %v", a, b)
 	}
 }
@@ -92,7 +94,7 @@ func TestUpperBoundDominatesFeasibleScores(t *testing.T) {
 			size := float64(sigma) + rng.Float64()*(ssUB-float64(sigma))
 			maxSE := math.Min(seUB, size*smUB)
 			se := rng.Float64() * maxSE
-			if sc.score(size, se) > ub+1e-9 {
+			if s := sc.score(size, se); s > ub && !fptol.DefaultTol.Close(s, ub) {
 				return false
 			}
 		}

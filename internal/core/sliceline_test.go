@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"sliceline/internal/fptol"
 	"sliceline/internal/frame"
 )
 
@@ -44,16 +45,12 @@ func scoresOf(slices []Slice) []float64 {
 	return out
 }
 
+// approxEqualScores compares rank-aligned scores under the shared ULP
+// tolerance of internal/fptol: scores are order-dependent float64
+// summations, so different evaluation plans (and brute force) legitimately
+// differ in the last ULPs while agreeing on every ranking decision.
 func approxEqualScores(a, b []float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if math.Abs(a[i]-b[i]) > 1e-9 {
-			return false
-		}
-	}
-	return true
+	return fptol.DefaultTol.CloseSlices(a, b)
 }
 
 // TestExactnessAgainstBruteForce is the repository's central correctness

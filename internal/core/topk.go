@@ -34,6 +34,16 @@ func (t *topK) offer(cols []int, score, ss, se, sm float64) {
 			return
 		}
 	}
+	// A slice identity may occupy at most one top-K slot. With candidate
+	// deduplication disabled (the Figure 3 config-5 ablation) the same slice
+	// is enumerated once per parent pair and re-offered with bit-identical
+	// statistics; without this check the duplicates would crowd genuinely
+	// distinct slices out of the top-K and break the exactness guarantee.
+	for i := range t.entries {
+		if t.entries[i].score == score && equalCols(t.entries[i].cols, cols) {
+			return
+		}
+	}
 	e := tkEntry{cols: cols, score: score, ss: ss, se: se, sm: sm}
 	pos := sort.Search(len(t.entries), func(i int) bool {
 		if t.entries[i].score != score {

@@ -1,0 +1,40 @@
+package datagen
+
+import (
+	"flag"
+	"sync"
+)
+
+// The -seed flag pins randomized, seed-driven tests (most importantly the
+// differential harness of internal/difftest) to a single reported seed, so a
+// failure's one-line reproducer
+//
+//	go test ./internal/difftest -run TestDiff... -seed=N
+//
+// replays exactly the failing case. The flag is registered lazily via
+// RegisterSeedFlag instead of in an init function: several cmd/ binaries
+// that import this package define their own -seed flag, and an
+// unconditional registration here would collide with theirs.
+var (
+	seedOnce sync.Once
+	seedVal  *int64
+)
+
+// RegisterSeedFlag registers the -seed flag on the default command-line flag
+// set. Call it from an init function of the test package that wants seed
+// pinning (before flag.Parse runs); repeated calls are no-ops.
+func RegisterSeedFlag() {
+	seedOnce.Do(func() {
+		seedVal = flag.Int64("seed", 0, "pin randomized tests to this single seed (0 = full sweep)")
+	})
+}
+
+// SeedOverride returns the pinned seed and true when the -seed flag was
+// registered and set to a non-zero value; randomized sweeps should then run
+// only that seed and skip the rest.
+func SeedOverride() (int64, bool) {
+	if seedVal == nil || *seedVal == 0 {
+		return 0, false
+	}
+	return *seedVal, true
+}

@@ -1,0 +1,233 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"sliceline/internal/core"
+	"sliceline/internal/fptol"
+)
+
+// Tol is the harness-wide tolerance for cross-plan comparisons. Slice sizes
+// and max errors are order-independent reductions and must match exactly;
+// total errors and scores are order-dependent float64 summations, compared
+// within fptol.DefaultTol (see that package for the derivation). Tests may
+// tighten this to fptol.Exact when comparing a plan against itself
+// (run-to-run determinism).
+var Tol = fptol.DefaultTol
+
+// CompareResults asserts that two results describe the same top-K slices.
+// Slices are matched by predicate set within score-tolerance windows, so a
+// pair of truly tied slices may legally appear in either order; any slice of
+// ref that has no tolerant counterpart in got is an error. Matched slices
+// must agree exactly on size and max error (order-independent statistics)
+// and within tol on total error, average error and score.
+func CompareResults(ref, got *core.Result, tol fptol.Tol) error {
+	if len(ref.TopK) != len(got.TopK) {
+		return fmt.Errorf("top-K length mismatch: %d vs %d\nref: %s\ngot: %s",
+			len(ref.TopK), len(got.TopK), formatTopK(ref.TopK), formatTopK(got.TopK))
+	}
+	// Rank-aligned score agreement: the k-th best score must match.
+	for i := range ref.TopK {
+		if !tol.Close(ref.TopK[i].Score, got.TopK[i].Score) {
+			return fmt.Errorf("rank %d score mismatch: %v vs %v (ulps=%d)\nref: %s\ngot: %s",
+				i, ref.TopK[i].Score, got.TopK[i].Score,
+				fptol.ULPDiff(ref.TopK[i].Score, got.TopK[i].Score),
+				formatTopK(ref.TopK), formatTopK(got.TopK))
+		}
+	}
+	// Slice-by-slice matching by predicates.
+	used := make([]bool, len(got.TopK))
+	for i, rs := range ref.TopK {
+		match := -1
+		for j, gs := range got.TopK {
+			if used[j] || !predsEqual(rs.Predicates, gs.Predicates) {
+				continue
+			}
+			match = j
+			break
+		}
+		if match < 0 {
+			return fmt.Errorf("ref slice %d (%v) has no counterpart\nref: %s\ngot: %s",
+				i, rs, formatTopK(ref.TopK), formatTopK(got.TopK))
+		}
+		used[match] = true
+		gs := got.TopK[match]
+		// A matched slice may sit at a different rank only inside a tie.
+		if match != i && !tol.Close(rs.Score, got.TopK[i].Score) {
+			return fmt.Errorf("slice %v moved from rank %d to %d without a score tie", rs, i, match)
+		}
+		if err := compareSlice(rs, gs, tol); err != nil {
+			return fmt.Errorf("slice %v: %w", rs.Predicates, err)
+		}
+	}
+	return nil
+}
+
+func compareSlice(a, b core.Slice, tol fptol.Tol) error {
+	if a.Size != b.Size {
+		return fmt.Errorf("size %d vs %d", a.Size, b.Size)
+	}
+	if a.MaxError != b.MaxError {
+		return fmt.Errorf("max error %v vs %v (order-independent reduction must be exact)", a.MaxError, b.MaxError)
+	}
+	if !tol.Close(a.TotalError, b.TotalError) {
+		return fmt.Errorf("total error %v vs %v (ulps=%d)", a.TotalError, b.TotalError, fptol.ULPDiff(a.TotalError, b.TotalError))
+	}
+	if !tol.Close(a.AvgError, b.AvgError) {
+		return fmt.Errorf("avg error %v vs %v", a.AvgError, b.AvgError)
+	}
+	if !tol.Close(a.Score, b.Score) {
+		return fmt.Errorf("score %v vs %v (ulps=%d)", a.Score, b.Score, fptol.ULPDiff(a.Score, b.Score))
+	}
+	return nil
+}
+
+// CompareExact asserts bit-identical results (same plan run twice must be
+// deterministic): identical predicates, ranks, and float statistics.
+func CompareExact(a, b *core.Result) error {
+	if len(a.TopK) != len(b.TopK) {
+		return fmt.Errorf("top-K length mismatch: %d vs %d", len(a.TopK), len(b.TopK))
+	}
+	for i := range a.TopK {
+		x, y := a.TopK[i], b.TopK[i]
+		if !predsEqual(x.Predicates, y.Predicates) {
+			return fmt.Errorf("rank %d predicates %v vs %v", i, x.Predicates, y.Predicates)
+		}
+		if x.Score != y.Score || x.Size != y.Size || x.TotalError != y.TotalError || x.MaxError != y.MaxError {
+			return fmt.Errorf("rank %d statistics differ: %v vs %v", i, x, y)
+		}
+	}
+	return nil
+}
+
+// CompareToBruteForce asserts that a result's top-K scores match exhaustive
+// lattice enumeration. Predicate sets are compared per rank except inside
+// score ties, where brute force and the enumerator may legally order tied
+// slices differently.
+func CompareToBruteForce(got *core.Result, truth []core.Slice, tol fptol.Tol) error {
+	if len(got.TopK) != len(truth) {
+		return fmt.Errorf("top-K length %d vs brute force %d\ngot: %s\ntruth: %s",
+			len(got.TopK), len(truth), formatTopK(got.TopK), formatTopK(truth))
+	}
+	for i := range truth {
+		if !tol.Close(truth[i].Score, got.TopK[i].Score) {
+			return fmt.Errorf("rank %d score %v vs brute force %v\ngot: %s\ntruth: %s",
+				i, got.TopK[i].Score, truth[i].Score, formatTopK(got.TopK), formatTopK(truth))
+		}
+	}
+	// Where predicates align, the full statistics must agree.
+	used := make([]bool, len(got.TopK))
+	for _, ts := range truth {
+		for j, gs := range got.TopK {
+			if used[j] || !predsEqual(ts.Predicates, gs.Predicates) {
+				continue
+			}
+			used[j] = true
+			if err := compareSlice(ts, gs, tol); err != nil {
+				return fmt.Errorf("slice %v: %w", ts.Predicates, err)
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// CheckInvariants validates the internal consistency of one result, the
+// decoding invariants every backend must preserve: scores strictly positive
+// and sorted, sizes at or above the support threshold, average error
+// consistent with total error and size, and the TS/TR matrix encodings
+// aligned with the decoded predicates.
+func CheckInvariants(res *core.Result, m int) error {
+	for i, s := range res.TopK {
+		if s.Score <= 0 {
+			return fmt.Errorf("rank %d: non-positive score %v in top-K", i, s.Score)
+		}
+		if i > 0 && res.TopK[i-1].Score < s.Score {
+			return fmt.Errorf("rank %d: scores not descending (%v after %v)", i, s.Score, res.TopK[i-1].Score)
+		}
+		if s.Size < res.Sigma {
+			return fmt.Errorf("rank %d: size %d below sigma %d", i, s.Size, res.Sigma)
+		}
+		if s.Size > 0 && !Tol.Close(s.AvgError, s.TotalError/float64(s.Size)) {
+			return fmt.Errorf("rank %d: avg error %v inconsistent with se/ss = %v", i, s.AvgError, s.TotalError/float64(s.Size))
+		}
+		if s.MaxError*float64(s.Size) < s.TotalError && !Tol.Close(s.MaxError*float64(s.Size), s.TotalError) {
+			return fmt.Errorf("rank %d: total error %v exceeds size*maxError %v", i, s.TotalError, s.MaxError*float64(s.Size))
+		}
+		if len(s.Predicates) == 0 {
+			return fmt.Errorf("rank %d: empty predicate list", i)
+		}
+		seen := map[int]bool{}
+		for _, p := range s.Predicates {
+			if p.Feature < 0 || p.Feature >= m {
+				return fmt.Errorf("rank %d: predicate feature %d out of range [0,%d)", i, p.Feature, m)
+			}
+			if seen[p.Feature] {
+				return fmt.Errorf("rank %d: duplicate predicate on feature %d", i, p.Feature)
+			}
+			seen[p.Feature] = true
+			if p.Value < 1 {
+				return fmt.Errorf("rank %d: non-positive value code %d", i, p.Value)
+			}
+		}
+	}
+	// TS/TR must re-encode the decoded predicates, aligned rank by rank.
+	ts := res.TS(m)
+	tr := res.TR()
+	if len(ts) != len(res.TopK) || len(tr) != len(res.TopK) {
+		return fmt.Errorf("TS/TR length %d/%d vs top-K %d", len(ts), len(tr), len(res.TopK))
+	}
+	for i, s := range res.TopK {
+		nonZero := 0
+		for f, v := range ts[i] {
+			if v == 0 {
+				continue
+			}
+			nonZero++
+			found := false
+			for _, p := range s.Predicates {
+				if p.Feature == f && p.Value == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("rank %d: TS entry f%d=%d not among predicates %v", i, f, v, s.Predicates)
+			}
+		}
+		if nonZero != len(s.Predicates) {
+			return fmt.Errorf("rank %d: TS has %d assignments vs %d predicates", i, nonZero, len(s.Predicates))
+		}
+		if tr[i] != [4]float64{s.Score, s.TotalError, s.MaxError, float64(s.Size)} {
+			return fmt.Errorf("rank %d: TR row %v misaligned with slice %v", i, tr[i], s)
+		}
+	}
+	return nil
+}
+
+func predsEqual(a, b []core.Predicate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Feature != b[i].Feature || a[i].Value != b[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
+func formatTopK(slices []core.Slice) string {
+	if len(slices) == 0 {
+		return "(empty)"
+	}
+	var sb strings.Builder
+	for i, s := range slices {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		fmt.Fprintf(&sb, "#%d %v", i, s)
+	}
+	return sb.String()
+}

@@ -1,0 +1,166 @@
+package difftest
+
+import (
+	"fmt"
+	"net"
+
+	"sliceline/internal/core"
+	"sliceline/internal/dist"
+)
+
+// Plan is one named execution backend. Run executes the case's
+// configuration through that backend and returns the result; backends that
+// allocate external resources (TCP workers) clean them up before returning.
+type Plan struct {
+	Name string
+	// Weighted reports whether the plan supports row-weighted cases;
+	// external evaluators do not (core rejects the combination by design).
+	Weighted bool
+	run      func(c *Case) (*core.Result, error)
+}
+
+// Run executes the plan on the case.
+func (p Plan) Run(c *Case) (*core.Result, error) { return p.run(c) }
+
+// runBuiltin executes the in-process enumerator, honoring case weights.
+func runBuiltin(c *Case, mutate func(*core.Config)) (*core.Result, error) {
+	cfg := c.Cfg
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	if c.W != nil {
+		return core.RunWeighted(c.DS, c.E, c.W, cfg)
+	}
+	return core.Run(c.DS, c.E, cfg)
+}
+
+// BuiltinPlans enumerates the single-process execution plans of Section 4.4:
+// the fused sparse kernel at several block sizes — b=1 is the task-parallel
+// plan, a huge b the data-parallel plan, intermediate values the hybrid —
+// plus the dense chunked kernel and priority-ordered enumeration.
+func BuiltinPlans() []Plan {
+	plans := []Plan{
+		{Name: "builtin/auto", Weighted: true, run: func(c *Case) (*core.Result, error) {
+			return runBuiltin(c, nil)
+		}},
+		{Name: "dense", Weighted: true, run: func(c *Case) (*core.Result, error) {
+			return runBuiltin(c, func(cfg *core.Config) { cfg.DenseEval = true })
+		}},
+		{Name: "priority", Weighted: true, run: func(c *Case) (*core.Result, error) {
+			return runBuiltin(c, func(cfg *core.Config) { cfg.PriorityEnumeration = true })
+		}},
+	}
+	for _, b := range []int{1, 3, 16, 1 << 30} {
+		b := b
+		name := fmt.Sprintf("blocked/b=%d", b)
+		if b == 1<<30 {
+			name = "blocked/b=nrow"
+		}
+		plans = append(plans, Plan{Name: name, Weighted: true, run: func(c *Case) (*core.Result, error) {
+			return runBuiltin(c, func(cfg *core.Config) { cfg.BlockSize = b })
+		}})
+	}
+	return plans
+}
+
+// LocalPlans enumerates the multi-threaded local evaluators of Figure 7(b):
+// MT-Ops (barrier per operation) and MT-PFor (parallel-for over blocks).
+func LocalPlans() []Plan {
+	var plans []Plan
+	for _, s := range []dist.Strategy{dist.MTOps, dist.MTPFor} {
+		s := s
+		plans = append(plans, Plan{Name: "local/" + s.String(), run: func(c *Case) (*core.Result, error) {
+			ev, err := dist.NewLocal(s, 8)
+			if err != nil {
+				return nil, err
+			}
+			cfg := c.Cfg
+			cfg.Evaluator = ev
+			return core.Run(c.DS, c.E, cfg)
+		}})
+	}
+	return plans
+}
+
+// ClusterPlans enumerates Dist-PFor over in-process workers, one plan per
+// requested worker count.
+func ClusterPlans(workerCounts ...int) []Plan {
+	var plans []Plan
+	for _, nw := range workerCounts {
+		nw := nw
+		plans = append(plans, Plan{Name: fmt.Sprintf("cluster/inproc-%d", nw), run: func(c *Case) (*core.Result, error) {
+			workers := make([]dist.Worker, nw)
+			for i := range workers {
+				workers[i] = &dist.InProcessWorker{}
+			}
+			cl, err := dist.NewCluster(workers, 0)
+			if err != nil {
+				return nil, err
+			}
+			cfg := c.Cfg
+			cfg.Evaluator = cl
+			return core.Run(c.DS, c.E, cfg)
+		}})
+	}
+	return plans
+}
+
+// TCPPlans enumerates Dist-PFor over real TCP workers served on ephemeral
+// localhost ports, exercising the full gob-RPC serialization path. Workers
+// are spun up and torn down per Run.
+func TCPPlans(workerCounts ...int) []Plan {
+	var plans []Plan
+	for _, nw := range workerCounts {
+		nw := nw
+		plans = append(plans, Plan{Name: fmt.Sprintf("cluster/tcp-%d", nw), run: func(c *Case) (*core.Result, error) {
+			listeners := make([]net.Listener, 0, nw)
+			defer func() {
+				for _, lis := range listeners {
+					lis.Close()
+				}
+			}()
+			workers := make([]dist.Worker, 0, nw)
+			for i := 0; i < nw; i++ {
+				lis, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					return nil, err
+				}
+				listeners = append(listeners, lis)
+				go dist.Serve(lis) //nolint:errcheck // lifetime bound to listener
+				w, err := dist.Dial(lis.Addr().String())
+				if err != nil {
+					return nil, err
+				}
+				workers = append(workers, w)
+			}
+			cl, err := dist.NewCluster(workers, 0)
+			if err != nil {
+				return nil, err
+			}
+			defer cl.Close()
+			cfg := c.Cfg
+			cfg.Evaluator = cl
+			return core.Run(c.DS, c.E, cfg)
+		}})
+	}
+	return plans
+}
+
+// ReferencePlan runs the literal materialized linear-algebra program of the
+// paper (RunReference), the executable specification. It ignores weights
+// and is only intended for small cases.
+func ReferencePlan() Plan {
+	return Plan{Name: "reference", run: func(c *Case) (*core.Result, error) {
+		return core.RunReference(c.DS, c.E, c.Cfg)
+	}}
+}
+
+// AllPlans is the full cross-backend matrix used by the main differential
+// test: builtin variants, local evaluators, and in-process clusters.
+// TCP plans are listed separately because of their per-run setup cost.
+func AllPlans() []Plan {
+	plans := BuiltinPlans()
+	plans = append(plans, LocalPlans()...)
+	plans = append(plans, ClusterPlans(1, 2, 4)...)
+	return plans
+}

@@ -188,14 +188,21 @@ func (c *Cluster) Setup(x *matrix.CSR, e []float64) error {
 // Eval broadcasts the candidates, evaluates every partition concurrently,
 // and sums the partial (ss, se) vectors and maxes the sm vectors. A failed
 // worker is marked dead and its partition retried on a healthy worker.
+//
+// Partials are merged in partition order after all evaluations complete:
+// float64 addition is not associative, so merging in goroutine-completion
+// order would make repeated evaluations of the same candidates return se
+// values differing in the last ULPs — the differential test harness asserts
+// run-to-run determinism per plan.
 func (c *Cluster) Eval(cols [][]int, level int) (ss, se, sm []float64, err error) {
 	if len(c.parts) == 0 {
 		return nil, nil, nil, errors.New("dist: Eval before Setup")
 	}
 	n := len(cols)
-	ss = make([]float64, n)
-	se = make([]float64, n)
-	sm = make([]float64, n)
+	type partial struct {
+		ss, se, sm []float64
+	}
+	partials := make([]partial, len(c.parts))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
@@ -204,32 +211,51 @@ func (c *Cluster) Eval(cols [][]int, level int) (ss, se, sm []float64, err error
 		go func(p int) {
 			defer wg.Done()
 			pss, pse, psm, werr := c.evalPartition(p, cols, level)
-			mu.Lock()
-			defer mu.Unlock()
 			if werr != nil {
+				mu.Lock()
 				if firstErr == nil {
 					firstErr = werr
 				}
+				mu.Unlock()
 				return
 			}
-			for i := 0; i < n; i++ {
-				ss[i] += pss[i]
-				se[i] += pse[i]
-				if psm[i] > sm[i] {
-					sm[i] = psm[i]
-				}
-			}
+			partials[p] = partial{ss: pss, se: pse, sm: psm}
 		}(p)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, nil, nil, firstErr
 	}
+	ss = make([]float64, n)
+	se = make([]float64, n)
+	sm = make([]float64, n)
+	for _, pt := range partials {
+		for i := 0; i < n; i++ {
+			ss[i] += pt.ss[i]
+			se[i] += pt.se[i]
+			if pt.sm[i] > sm[i] {
+				sm[i] = pt.sm[i]
+			}
+		}
+	}
 	return ss, se, sm, nil
 }
 
+// tryEval runs one Eval on worker wi and validates the result shape. A
+// worker answering with partial results (wrong vector lengths) is treated
+// exactly like a crashed worker: silently folding short vectors into the
+// aggregate would corrupt every slice statistic downstream.
+func (c *Cluster) tryEval(wi, p int, cols [][]int, level int) (ss, se, sm []float64, err error) {
+	ss, se, sm, err = c.workers[wi].Eval(p, cols, level, c.blockSize)
+	if err == nil && (len(ss) != len(cols) || len(se) != len(cols) || len(sm) != len(cols)) {
+		err = fmt.Errorf("dist: worker %d returned %d/%d/%d statistics for %d candidates",
+			wi, len(ss), len(se), len(sm), len(cols))
+	}
+	return ss, se, sm, err
+}
+
 // evalPartition evaluates one partition, failing over to other live workers
-// when the assigned one errors.
+// when the assigned one errors or returns malformed statistics.
 func (c *Cluster) evalPartition(p int, cols [][]int, level int) (ss, se, sm []float64, err error) {
 	for attempt := 0; attempt < len(c.workers); attempt++ {
 		c.mu.Lock()
@@ -237,9 +263,20 @@ func (c *Cluster) evalPartition(p int, cols [][]int, level int) (ss, se, sm []fl
 		ok := c.alive[wi]
 		c.mu.Unlock()
 		if ok {
-			ss, se, sm, err = c.workers[wi].Eval(p, cols, level, c.blockSize)
+			ss, se, sm, err = c.tryEval(wi, p, cols, level)
 			if err == nil {
 				return ss, se, sm, nil
+			}
+			// The worker may be alive but amnesiac: a TCP worker restarted
+			// on the same address answers RemoteWorker's redial but has lost
+			// every partition. Reload the partition in place once before
+			// declaring the worker dead, so a restarted worker rejoins the
+			// run instead of shifting its load onto the survivors.
+			if lerr := c.workers[wi].Load(p, c.parts[p].x, c.parts[p].e); lerr == nil {
+				ss, se, sm, err = c.tryEval(wi, p, cols, level)
+				if err == nil {
+					return ss, se, sm, nil
+				}
 			}
 			// Mark the worker dead; its other partitions will fail over as
 			// their own evaluations error out.

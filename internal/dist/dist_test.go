@@ -1,12 +1,12 @@
 package dist
 
 import (
-	"math"
 	"math/rand"
 	"net"
 	"testing"
 
 	"sliceline/internal/core"
+	"sliceline/internal/fptol"
 	"sliceline/internal/frame"
 )
 
@@ -38,16 +38,11 @@ func scores(slices []core.Slice) []float64 {
 	return out
 }
 
+// equalScores compares rank-aligned scores under the shared cross-plan
+// tolerance: scores are order-dependent summations, so plans may differ in
+// the last ULPs (see internal/fptol for the derivation).
 func equalScores(a, b []float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if math.Abs(a[i]-b[i]) > 1e-9 {
-			return false
-		}
-	}
-	return true
+	return fptol.DefaultTol.CloseSlices(a, b)
 }
 
 func TestLocalStrategiesMatchBuiltin(t *testing.T) {

@@ -82,30 +82,85 @@ func (s *Service) Eval(args *EvalArgs, reply *EvalReply) error {
 	return nil
 }
 
-// Serve accepts worker connections on the listener until it is closed. Each
-// connection is served concurrently. It returns when the listener closes.
-func Serve(lis net.Listener) error {
+// Server serves worker RPCs on a listener and supports abrupt Stop,
+// modelling worker crashes for failover drills: Stop closes the listener
+// and every established connection, so in-flight and future calls from
+// drivers fail with transport errors. A restarted Server on the same
+// address starts with an empty partition map, like a respawned process.
+type Server struct {
+	lis net.Listener
+	srv *rpc.Server
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// NewServer wraps a listener in a worker RPC server; call Serve to run it.
+func NewServer(lis net.Listener) (*Server, error) {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Worker", &Service{}); err != nil {
-		return err
+		return nil, err
 	}
+	return &Server{lis: lis, srv: srv, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve accepts and serves connections until the listener closes. Each
+// connection is served concurrently. It returns nil when Stop (or a direct
+// listener Close) ends the accept loop.
+func (s *Server) Serve() error {
 	for {
-		conn, err := lis.Accept()
+		conn, err := s.lis.Accept()
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err
 		}
-		go srv.ServeConn(conn)
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go func() {
+			s.srv.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
 	}
+}
+
+// Stop abruptly shuts the server down: the listener and all established
+// connections are closed, as if the worker process died.
+func (s *Server) Stop() {
+	s.lis.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+}
+
+// Serve accepts worker connections on the listener until it is closed. Each
+// connection is served concurrently. It returns when the listener closes.
+func Serve(lis net.Listener) error {
+	s, err := NewServer(lis)
+	if err != nil {
+		return err
+	}
+	return s.Serve()
 }
 
 // RemoteWorker talks to a worker process over TCP with gob-encoded RPC. It
 // models the broadcast/serialization overheads of the paper's distributed
-// backend.
+// backend. When a call fails at the transport level (worker crashed,
+// connection dropped), the next call transparently redials the worker's
+// address once, so a worker restarted on the same address — with its
+// partitions gone, but alive — rejoins the cluster instead of being lost
+// for the rest of the run.
 type RemoteWorker struct {
-	addr   string
+	addr string
+
+	mu     sync.Mutex
 	client *rpc.Client
 }
 
@@ -118,6 +173,35 @@ func Dial(addr string) (*RemoteWorker, error) {
 	return &RemoteWorker{addr: addr, client: client}, nil
 }
 
+// call performs one RPC, redialing once on transport-level failure.
+// Server-side application errors (rpc.ServerError) are returned as-is:
+// the connection is fine, the worker just rejected the request.
+func (w *RemoteWorker) call(method string, args, reply interface{}) error {
+	w.mu.Lock()
+	client := w.client
+	w.mu.Unlock()
+	err := client.Call(method, args, reply)
+	if err == nil || isServerError(err) {
+		return err
+	}
+	// Transport failure: the worker may have restarted — redial once.
+	nc, derr := rpc.Dial("tcp", w.addr)
+	if derr != nil {
+		return err // still unreachable; report the original failure
+	}
+	w.mu.Lock()
+	old := w.client
+	w.client = nc
+	w.mu.Unlock()
+	old.Close()
+	return nc.Call(method, args, reply)
+}
+
+func isServerError(err error) bool {
+	var se rpc.ServerError
+	return errors.As(err, &se)
+}
+
 // Load implements Worker.
 func (w *RemoteWorker) Load(part int, x *matrix.CSR, e []float64) error {
 	rowPtr, colIdx, val := x.Components()
@@ -126,13 +210,13 @@ func (w *RemoteWorker) Load(part int, x *matrix.CSR, e []float64) error {
 		Rows: x.Rows(), Cols: x.Cols(),
 		RowPtr: rowPtr, ColIdx: colIdx, Val: val, Err: e,
 	}
-	return w.client.Call("Worker.Load", args, &LoadReply{})
+	return w.call("Worker.Load", args, &LoadReply{})
 }
 
 // Eval implements Worker.
 func (w *RemoteWorker) Eval(part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error) {
 	var reply EvalReply
-	err = w.client.Call("Worker.Eval", &EvalArgs{Part: part, Cols: cols, Level: level, BlockSize: blockSize}, &reply)
+	err = w.call("Worker.Eval", &EvalArgs{Part: part, Cols: cols, Level: level, BlockSize: blockSize}, &reply)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("dist: eval on %s: %w", w.addr, err)
 	}
@@ -140,7 +224,11 @@ func (w *RemoteWorker) Eval(part int, cols [][]int, level, blockSize int) (ss, s
 }
 
 // Close implements Worker.
-func (w *RemoteWorker) Close() error { return w.client.Close() }
+func (w *RemoteWorker) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.client.Close()
+}
 
 var _ Worker = (*RemoteWorker)(nil)
 var _ Worker = (*InProcessWorker)(nil)

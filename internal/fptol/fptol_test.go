@@ -1,0 +1,107 @@
+package fptol
+
+import (
+	"math"
+	"testing"
+)
+
+func TestULPDiff(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want uint64
+	}{
+		{1, 1, 0},
+		{0, math.Copysign(0, -1), 0},
+		{1, math.Nextafter(1, 2), 1},
+		{1, math.Nextafter(math.Nextafter(1, 2), 2), 2},
+		{-1, math.Nextafter(-1, -2), 1},
+		// Across zero: smallest positive and smallest negative subnormal
+		// are two ULPs apart (one step each to +0/-0, which coincide).
+		{math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64, 2},
+		{math.Inf(1), math.Inf(1), 0},
+	}
+	for _, c := range cases {
+		if got := ULPDiff(c.a, c.b); got != c.want {
+			t.Errorf("ULPDiff(%g, %g) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := ULPDiff(c.b, c.a); got != c.want {
+			t.Errorf("ULPDiff(%g, %g) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+	if got := ULPDiff(math.NaN(), 1); got != math.MaxUint64 {
+		t.Errorf("ULPDiff(NaN, 1) = %d, want MaxUint64", got)
+	}
+	if got := ULPDiff(math.Inf(1), math.Inf(-1)); got != math.MaxUint64 {
+		t.Errorf("ULPDiff(+Inf, -Inf) = %d, want MaxUint64", got)
+	}
+}
+
+func TestClose(t *testing.T) {
+	tol := Tol{ULPs: 4, Abs: 1e-12}
+	if !tol.Close(1, math.Nextafter(1, 2)) {
+		t.Error("1 ULP apart should be close")
+	}
+	wide := 1.0
+	for i := 0; i < 8; i++ {
+		wide = math.Nextafter(wide, 2)
+	}
+	if (Tol{ULPs: 4}).Close(1, wide) {
+		t.Error("8 ULPs apart should not be close under a 4-ULP tolerance")
+	}
+	if !tol.Close(1e-13, -1e-13) {
+		t.Error("values within the absolute floor should be close")
+	}
+	if !Exact.Close(3.25, 3.25) {
+		t.Error("identical values must be Exact-close")
+	}
+	if Exact.Close(1, math.Nextafter(1, 2)) {
+		t.Error("Exact must reject any difference")
+	}
+}
+
+func TestCloseSlices(t *testing.T) {
+	tol := Tol{ULPs: 1}
+	if !tol.CloseSlices([]float64{1, 2}, []float64{1, math.Nextafter(2, 3)}) {
+		t.Error("element-wise close slices rejected")
+	}
+	if tol.CloseSlices([]float64{1}, []float64{1, 1}) {
+		t.Error("length mismatch must not be close")
+	}
+	if tol.CloseSlices([]float64{1, 2}, []float64{1, 2.5}) {
+		t.Error("far elements must not be close")
+	}
+}
+
+// TestReorderedSummationWithinDefaultTol demonstrates the bound DefaultTol is
+// sized for: summing the same non-negative values in different orders and
+// groupings stays within tolerance.
+func TestReorderedSummationWithinDefaultTol(t *testing.T) {
+	n := 100000
+	vals := make([]float64, n)
+	x := 0.5
+	for i := range vals {
+		// Deterministic pseudo-random values in (0, 1).
+		x = math.Mod(x*997.13+0.7331, 1)
+		vals[i] = x
+	}
+	fwd := 0.0
+	for _, v := range vals {
+		fwd += v
+	}
+	rev := 0.0
+	for i := n - 1; i >= 0; i-- {
+		rev += vals[i]
+	}
+	// Pairwise/blocked grouping, like per-partition partials.
+	blocked := 0.0
+	for lo := 0; lo < n; lo += 1000 {
+		part := 0.0
+		for i := lo; i < lo+1000; i++ {
+			part += vals[i]
+		}
+		blocked += part
+	}
+	if !DefaultTol.Close(fwd, rev) || !DefaultTol.Close(fwd, blocked) {
+		t.Errorf("reordered sums outside DefaultTol: fwd=%v rev=%v blocked=%v", fwd, rev, blocked)
+	}
+}

@@ -67,7 +67,7 @@ func WriteCSV(w io.Writer, f *Frame) error {
 	for j, c := range f.Columns() {
 		header[j] = c.Name
 	}
-	if err := cw.Write(header); err != nil {
+	if err := writeRecord(cw, w, header); err != nil {
 		return fmt.Errorf("frame: writing csv header: %w", err)
 	}
 	rec := make([]string, f.NumCols())
@@ -79,10 +79,27 @@ func WriteCSV(w io.Writer, f *Frame) error {
 				rec[j] = strconv.FormatFloat(c.Floats[i], 'g', -1, 64)
 			}
 		}
-		if err := cw.Write(rec); err != nil {
+		if err := writeRecord(cw, w, rec); err != nil {
 			return fmt.Errorf("frame: writing csv row %d: %w", i, err)
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// writeRecord writes one CSV record, working around an encoding/csv
+// asymmetry: the writer renders a record holding a single empty field as a
+// blank line, which the reader then skips entirely — a one-column frame with
+// an empty name or empty cells would silently lose rows across a round
+// trip. Such records are written as an explicitly quoted empty field.
+func writeRecord(cw *csv.Writer, w io.Writer, rec []string) error {
+	if len(rec) == 1 && rec[0] == "" {
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, "\"\"\n")
+		return err
+	}
+	return cw.Write(rec)
 }

@@ -295,6 +295,11 @@ func FromFrame(f *Frame, labelCol string, nBins int, drop ...string) (*Dataset, 
 		return nil, fmt.Errorf("frame: label column %q not found", labelCol)
 	}
 	n := f.NumRows()
+	if n == 0 && len(featCols) > 0 {
+		// Zero rows would yield features with domain 0, which Validate
+		// rejects; reject the input up front with a clearer message.
+		return nil, fmt.Errorf("frame: cannot encode a frame with no rows")
+	}
 	ds.X0 = NewIntMatrix(n, len(featCols))
 	ds.Features = make([]Feature, len(featCols))
 	for j, c := range featCols {
