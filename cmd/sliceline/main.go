@@ -8,12 +8,19 @@
 //	sliceline -dataset adult -k 5 -alpha 0.95 -maxlevel 3
 //	sliceline -csv data.csv -label y -task reg -k 4
 //	sliceline -dataset uscensus -workers localhost:7071,localhost:7072
+//
+// Long enumerations can checkpoint after every lattice level and resume
+// after a crash with byte-identical results:
+//
+//	sliceline -dataset uscensus -checkpoint run.ck        # killed mid-run
+//	sliceline -dataset uscensus -checkpoint run.ck -resume
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,42 +32,70 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sliceline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dataset  = flag.String("dataset", "", "synthetic dataset: salaries|adult|covtype|kdd98|uscensus|criteo")
-		rows     = flag.Int("rows", 0, "synthetic row count (0 = dataset default)")
-		csvPath  = flag.String("csv", "", "CSV file to load instead of a synthetic dataset")
-		label    = flag.String("label", "", "label column name for -csv")
-		task     = flag.String("task", "class", "model for -csv: class (mlogit) or reg (linear)")
-		bins     = flag.Int("bins", 10, "equi-width bins for continuous features")
-		k        = flag.Int("k", 4, "top-K slices")
-		alpha    = flag.Float64("alpha", 0.95, "error/size weight in (0,1]")
-		sigma    = flag.Int("sigma", 0, "minimum support (0 = max(32, n/100))")
-		maxLevel = flag.Int("maxlevel", 0, "maximum lattice level (0 = unbounded)")
-		seed     = flag.Int64("seed", 1, "synthetic dataset seed")
-		workers  = flag.String("workers", "", "comma-separated worker addresses for distributed evaluation")
-		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
-		progress = flag.Bool("progress", false, "print per-level progress to stderr")
+		dataset  = fs.String("dataset", "", "synthetic dataset: salaries|adult|covtype|kdd98|uscensus|criteo")
+		rows     = fs.Int("rows", 0, "synthetic row count (0 = dataset default)")
+		csvPath  = fs.String("csv", "", "CSV file to load instead of a synthetic dataset")
+		label    = fs.String("label", "", "label column name for -csv")
+		task     = fs.String("task", "class", "model for -csv: class (mlogit) or reg (linear)")
+		bins     = fs.Int("bins", 10, "equi-width bins for continuous features")
+		k        = fs.Int("k", 4, "top-K slices")
+		alpha    = fs.Float64("alpha", 0.95, "error/size weight in (0,1]")
+		sigma    = fs.Int("sigma", 0, "minimum support (0 = max(32, n/100))")
+		maxLevel = fs.Int("maxlevel", 0, "maximum lattice level (0 = unbounded)")
+		seed     = fs.Int64("seed", 1, "synthetic dataset seed")
+		workers  = fs.String("workers", "", "comma-separated worker addresses for distributed evaluation")
+		jsonOut  = fs.Bool("json", false, "emit the result as JSON")
+		progress = fs.Bool("progress", false, "print per-level progress to stderr")
+
+		checkpoint  = fs.String("checkpoint", "", "persist enumeration state to this file after every level")
+		resume      = fs.Bool("resume", false, "resume from -checkpoint (missing file starts fresh)")
+		callTimeout = fs.Duration("call-timeout", 0, "per-RPC deadline for distributed workers (0 = none)")
+		hedgeAfter  = fs.Duration("hedge-after", 0, "speculatively re-execute a partition stuck longer than this (0 = off)")
+		hedgeMult   = fs.Float64("hedge-mult", 0, "adaptive hedging: straggler threshold as a multiple of the level median (0 = off)")
+		heartbeat   = fs.Duration("heartbeat", 0, "probe worker liveness at this interval between levels (0 = off)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(stderr, "sliceline: -resume requires -checkpoint")
+		return 2
+	}
 
 	ds, errVec, err := loadInput(*dataset, *csvPath, *label, *task, *bins, *rows, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sliceline:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "sliceline:", err)
+		return 1
 	}
 
-	cfg := core.Config{K: *k, Alpha: *alpha, Sigma: *sigma, MaxLevel: *maxLevel}
+	cfg := core.Config{
+		K: *k, Alpha: *alpha, Sigma: *sigma, MaxLevel: *maxLevel,
+		CheckpointPath: *checkpoint, Resume: *resume,
+	}
 	if *progress {
 		cfg.OnLevel = func(ls core.LevelStats) {
-			fmt.Fprintf(os.Stderr, "level %d: %d candidates, %d valid, %d pruned (%v)\n",
+			fmt.Fprintf(stderr, "level %d: %d candidates, %d valid, %d pruned (%v)\n",
 				ls.Level, ls.Candidates, ls.Valid, ls.Pruned, ls.Elapsed.Round(1e6))
 		}
 	}
 	if *workers != "" {
-		cluster, err := dialCluster(strings.Split(*workers, ","))
+		cluster, err := dialCluster(strings.Split(*workers, ","), dist.Options{
+			CallTimeout:       *callTimeout,
+			HedgeDelay:        *hedgeAfter,
+			HedgeMultiplier:   *hedgeMult,
+			HeartbeatInterval: *heartbeat,
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sliceline:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "sliceline:", err)
+			return 1
 		}
 		defer cluster.Close()
 		cfg.Evaluator = cluster
@@ -68,31 +103,32 @@ func main() {
 
 	res, err := core.Run(ds, errVec, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sliceline:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "sliceline:", err)
+		return 1
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			fmt.Fprintln(os.Stderr, "sliceline:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "sliceline:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	fmt.Printf("dataset %s: n=%d m=%d l=%d avg error %.4f sigma=%d alpha=%.2f\n",
+	fmt.Fprintf(stdout, "dataset %s: n=%d m=%d l=%d avg error %.4f sigma=%d alpha=%.2f\n",
 		ds.Name, ds.NumRows(), ds.NumFeatures(), ds.OneHotWidth(), res.AvgError, res.Sigma, res.Alpha)
-	fmt.Printf("enumerated %d candidates over %d levels in %v\n\n",
+	fmt.Fprintf(stdout, "enumerated %d candidates over %d levels in %v\n\n",
 		res.TotalCandidates(), len(res.Levels), res.Elapsed.Round(1e6))
 	if len(res.TopK) == 0 {
-		fmt.Println("no slices with positive score satisfy the support constraint")
-		return
+		fmt.Fprintln(stdout, "no slices with positive score satisfy the support constraint")
+		return 0
 	}
 	for i, s := range res.TopK {
-		fmt.Printf("#%d %s\n", i+1, s)
+		fmt.Fprintf(stdout, "#%d %s\n", i+1, s)
 	}
+	return 0
 }
 
 func loadInput(dataset, csvPath, label, task string, bins, rows int, seed int64) (*frame.Dataset, []float64, error) {
@@ -160,7 +196,7 @@ func loadCSV(path, label, task string, bins int) (*frame.Dataset, []float64, err
 	}
 }
 
-func dialCluster(addrs []string) (*dist.Cluster, error) {
+func dialCluster(addrs []string, opts dist.Options) (*dist.Cluster, error) {
 	workers := make([]dist.Worker, 0, len(addrs))
 	for _, a := range addrs {
 		a = strings.TrimSpace(a)
@@ -173,5 +209,5 @@ func dialCluster(addrs []string) (*dist.Cluster, error) {
 		}
 		workers = append(workers, w)
 	}
-	return dist.NewCluster(workers, 0)
+	return dist.NewClusterOpts(workers, opts)
 }

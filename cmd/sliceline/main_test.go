@@ -3,7 +3,10 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"sliceline/internal/dist"
 )
 
 func writeTemp(t *testing.T, content string) string {
@@ -93,10 +96,94 @@ func TestLoadInputUnknown(t *testing.T) {
 }
 
 func TestDialClusterFailure(t *testing.T) {
-	if _, err := dialCluster([]string{"127.0.0.1:1"}); err == nil {
+	if _, err := dialCluster([]string{"127.0.0.1:1"}, dist.Options{}); err == nil {
 		t.Error("expected dial error")
 	}
-	if _, err := dialCluster([]string{" ", ""}); err == nil {
+	if _, err := dialCluster([]string{" ", ""}, dist.Options{}); err == nil {
 		t.Error("expected error for empty worker list")
+	}
+}
+
+// runCLI invokes the command entry point and returns its exit code and
+// stdout.
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	if code != 0 {
+		t.Logf("stderr: %s", errOut.String())
+	}
+	return code, out.String()
+}
+
+// topKLines extracts the "#i ..." result lines — the part of the output that
+// must be byte-identical across resumed runs (headers carry elapsed times).
+func topKLines(out string) []string {
+	var lines []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "#") {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// TestRunResumeByteIdentical: a checkpointed run capped at level 2, resumed
+// without the cap, must print exactly the same top-K as one uninterrupted
+// run.
+func TestRunResumeByteIdentical(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "run.ck")
+	code, full := runCLI(t, "-dataset", "salaries", "-k", "4")
+	if code != 0 {
+		t.Fatalf("reference run exited %d", code)
+	}
+	want := topKLines(full)
+	if len(want) == 0 {
+		t.Fatal("reference run found no slices; test exercises nothing")
+	}
+
+	if code, _ := runCLI(t, "-dataset", "salaries", "-k", "4", "-maxlevel", "2", "-checkpoint", ck); code != 0 {
+		t.Fatalf("checkpointed run exited %d", code)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	code, resumed := runCLI(t, "-dataset", "salaries", "-k", "4", "-checkpoint", ck, "-resume")
+	if code != 0 {
+		t.Fatalf("resumed run exited %d", code)
+	}
+	got := topKLines(resumed)
+	if len(got) != len(want) {
+		t.Fatalf("resumed run printed %d slices, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slice %d differs after resume:\n got %q\nwant %q", i+1, got[i], want[i])
+		}
+	}
+}
+
+// TestRunResumeRejectsMismatch: resuming against a checkpoint from different
+// parameters must fail loudly.
+func TestRunResumeRejectsMismatch(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "run.ck")
+	if code, _ := runCLI(t, "-dataset", "salaries", "-k", "4", "-checkpoint", ck); code != 0 {
+		t.Fatalf("checkpointed run exited %d", code)
+	}
+	if code, _ := runCLI(t, "-dataset", "salaries", "-k", "4", "-alpha", "0.5", "-checkpoint", ck, "-resume"); code == 0 {
+		t.Fatal("resume with different alpha should fail")
+	}
+}
+
+// TestRunFlagValidation covers the new flag edge cases.
+func TestRunFlagValidation(t *testing.T) {
+	if code, _ := runCLI(t, "-resume"); code != 2 {
+		t.Errorf("-resume without -checkpoint exited %d, want 2", code)
+	}
+	if code, _ := runCLI(t, "-bogus-flag"); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+	if code, _ := runCLI(t); code != 1 {
+		t.Errorf("no dataset exited %d, want 1", code)
 	}
 }

@@ -6,19 +6,30 @@
 //	slworker -addr :7071 &
 //	slworker -addr :7072 &
 //	sliceline -dataset adult -workers localhost:7071,localhost:7072
+//
+// On SIGINT or SIGTERM the worker drains gracefully: it stops accepting
+// connections, finishes the evaluations already in flight (so no driver is
+// left holding a torn half-written reply), then exits 0. If the drain
+// exceeds -drain-timeout, remaining connections are cut and the worker
+// exits 1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sliceline/internal/dist"
 )
 
 func main() {
 	addr := flag.String("addr", ":7071", "listen address (host:port)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight calls on SIGTERM/SIGINT")
 	flag.Parse()
 
 	lis, err := net.Listen("tcp", *addr)
@@ -26,9 +37,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "slworker:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("slworker: serving on %s\n", lis.Addr())
-	if err := dist.Serve(lis); err != nil {
+	srv, err := dist.NewServer(lis)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "slworker:", err)
 		os.Exit(1)
+	}
+	fmt.Printf("slworker: serving on %s\n", lis.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slworker:", err)
+			os.Exit(1)
+		}
+		return
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "slworker: %v, draining (max %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "slworker: drain timed out, cutting connections")
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "slworker: drained")
 	}
 }

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCheckpointResumeByteIdentical: a run killed between levels and resumed
+// from its checkpoint must produce top-K byte-identical to the
+// uninterrupted run — same predicates, same float64 bits.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	ds, e := randomDataset(rng, 400, 5, 4)
+	base := Config{K: 5, Sigma: 4, Alpha: 0.9}
+	ref, err := Run(ds, e, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Levels) < 3 {
+		t.Fatalf("reference run only reached level %d; interruption test needs >= 3", len(ref.Levels))
+	}
+
+	for _, killAfter := range []int{1, 2} {
+		path := filepath.Join(t.TempDir(), "ck.gob")
+		// First run: cancel the context inside the OnLevel callback after
+		// killAfter levels — the checkpoint for that level is already on
+		// disk (persisted before the callback fires).
+		ctx, cancel := context.WithCancel(context.Background())
+		cfg := base
+		cfg.CheckpointPath = path
+		cfg.OnLevel = func(ls LevelStats) {
+			if ls.Level == killAfter {
+				cancel()
+			}
+		}
+		if _, err := RunContext(ctx, ds, e, cfg); err == nil {
+			t.Fatalf("killAfter=%d: interrupted run should error", killAfter)
+		}
+		cancel()
+
+		// Second run resumes from the checkpoint.
+		cfg2 := base
+		cfg2.CheckpointPath = path
+		cfg2.Resume = true
+		resumedFrom := 0
+		cfg2.OnLevel = func(ls LevelStats) {
+			if resumedFrom == 0 {
+				resumedFrom = ls.Level
+			}
+		}
+		got, err := Run(ds, e, cfg2)
+		if err != nil {
+			t.Fatalf("killAfter=%d: resume: %v", killAfter, err)
+		}
+		if resumedFrom != killAfter+1 {
+			t.Fatalf("killAfter=%d: resumed run re-enumerated from level %d, want %d", killAfter, resumedFrom, killAfter+1)
+		}
+		if !reflect.DeepEqual(got.TopK, ref.TopK) {
+			t.Fatalf("killAfter=%d: resumed top-K differs from uninterrupted run:\n got %v\nwant %v", killAfter, got.TopK, ref.TopK)
+		}
+		if len(got.Levels) != len(ref.Levels) {
+			t.Fatalf("killAfter=%d: resumed run recorded %d levels, want %d", killAfter, len(got.Levels), len(ref.Levels))
+		}
+		for i := range got.Levels {
+			g, r := got.Levels[i], ref.Levels[i]
+			if g.Level != r.Level || g.Candidates != r.Candidates || g.Valid != r.Valid || g.Pruned != r.Pruned {
+				t.Fatalf("killAfter=%d: level %d stats diverge after resume: got %+v want %+v", killAfter, i+1, g, r)
+			}
+		}
+	}
+}
+
+// TestCheckpointExtendsMaxLevel: MaxLevel is excluded from the signature by
+// design — a run capped at level 2 can be resumed with a deeper cap and
+// must match the uncapped run exactly.
+func TestCheckpointExtendsMaxLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ds, e := randomDataset(rng, 400, 5, 4)
+	base := Config{K: 5, Sigma: 4, Alpha: 0.9}
+	ref, err := Run(ds, e, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.gob")
+	shallow := base
+	shallow.MaxLevel = 2
+	shallow.CheckpointPath = path
+	if _, err := Run(ds, e, shallow); err != nil {
+		t.Fatal(err)
+	}
+	deep := base
+	deep.CheckpointPath = path
+	deep.Resume = true
+	got, err := Run(ds, e, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.TopK, ref.TopK) {
+		t.Fatalf("extended run differs from uncapped run:\n got %v\nwant %v", got.TopK, ref.TopK)
+	}
+}
+
+// TestCheckpointSignatureMismatch: a checkpoint written for different data
+// or configuration must be refused, not silently mixed in.
+func TestCheckpointSignatureMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	ds, e := randomDataset(rng, 300, 4, 3)
+	path := filepath.Join(t.TempDir(), "ck.gob")
+	cfg := Config{K: 4, Sigma: 3, Alpha: 0.9, CheckpointPath: path}
+	if _, err := Run(ds, e, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("different-errors", func(t *testing.T) {
+		e2 := append([]float64(nil), e...)
+		e2[0] += 0.5
+		r := cfg
+		r.Resume = true
+		if _, err := Run(ds, e2, r); err == nil {
+			t.Fatal("expected signature mismatch for different error vector")
+		}
+	})
+	t.Run("different-config", func(t *testing.T) {
+		r := cfg
+		r.Resume = true
+		r.Alpha = 0.5
+		if _, err := Run(ds, e, r); err == nil {
+			t.Fatal("expected signature mismatch for different alpha")
+		}
+	})
+}
+
+// TestCheckpointMissingFileFreshStart: Resume with no checkpoint on disk is
+// a fresh run, not an error.
+func TestCheckpointMissingFileFreshStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	ds, e := randomDataset(rng, 300, 4, 3)
+	cfg := Config{K: 4, Sigma: 3, Alpha: 0.9}
+	ref, err := Run(ds, e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cfg
+	r.CheckpointPath = filepath.Join(t.TempDir(), "never-written.gob")
+	r.Resume = true
+	got, err := Run(ds, e, r)
+	if err != nil {
+		t.Fatalf("missing checkpoint should start fresh: %v", err)
+	}
+	if !reflect.DeepEqual(got.TopK, ref.TopK) {
+		t.Fatalf("fresh-start top-K differs from reference:\n got %v\nwant %v", got.TopK, ref.TopK)
+	}
+}
+
+// TestCheckpointCorruptFile: a torn or garbled checkpoint is an error, not
+// a silent fresh start — the caller asked to resume real work.
+func TestCheckpointCorruptFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	ds, e := randomDataset(rng, 300, 4, 3)
+	path := filepath.Join(t.TempDir(), "ck.gob")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 4, Sigma: 3, Alpha: 0.9, CheckpointPath: path, Resume: true}
+	if _, err := Run(ds, e, cfg); err == nil {
+		t.Fatal("expected error decoding corrupt checkpoint")
+	}
+}
+
+// TestCheckpointAtomicOverwrite: each level's save fully replaces the file;
+// after a completed run the checkpoint holds the final level and resuming
+// from it is a no-op that still returns the full result.
+func TestCheckpointAtomicOverwrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	ds, e := randomDataset(rng, 300, 4, 3)
+	path := filepath.Join(t.TempDir(), "ck.gob")
+	cfg := Config{K: 4, Sigma: 3, Alpha: 0.9, CheckpointPath: path}
+	ref, err := Run(ds, e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after save")
+	}
+	r := cfg
+	r.Resume = true
+	got, err := Run(ds, e, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.TopK, ref.TopK) {
+		t.Fatalf("no-op resume differs from original run:\n got %v\nwant %v", got.TopK, ref.TopK)
+	}
+}

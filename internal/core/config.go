@@ -74,7 +74,21 @@ type Config struct {
 	// OnLevel, when non-nil, is invoked after each lattice level completes
 	// with that level's statistics — progress reporting for long
 	// enumerations. It runs synchronously on the enumeration goroutine.
+	// On a resumed run it fires only for newly enumerated levels.
 	OnLevel func(LevelStats)
+
+	// CheckpointPath, when non-empty, persists the enumeration state (top-K,
+	// candidate frontier, level counters) to this file after every completed
+	// lattice level, atomically. An interrupted run restarted with Resume
+	// continues from the last completed level and produces byte-identical
+	// top-K to an uninterrupted run.
+	CheckpointPath string
+
+	// Resume restores state from CheckpointPath before enumerating. A
+	// missing checkpoint file starts a fresh run; a checkpoint written for
+	// different data or an incompatible configuration is refused with an
+	// error rather than silently producing garbage.
+	Resume bool
 }
 
 func (c Config) withDefaults(n int) Config {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -12,11 +13,15 @@ import (
 // the evaluation (package dist ships row-partitioned local and TCP-based
 // backends). Setup is called once per run with the reduced matrix and error
 // vector before any Eval call.
+//
+// The context carries the run's deadline and cancellation: implementations
+// that perform network calls must abort promptly when it is done, so a
+// cancelled run does not leave RPCs in flight.
 type ExternalEvaluator interface {
-	Setup(x *matrix.CSR, e []float64) error
+	Setup(ctx context.Context, x *matrix.CSR, e []float64) error
 	// Eval returns, per candidate (a sorted list of reduced one-hot
 	// columns), the slice size, total error and maximum tuple error.
-	Eval(cols [][]int, level int) (ss, se, sm []float64, err error)
+	Eval(ctx context.Context, cols [][]int, level int) (ss, se, sm []float64, err error)
 }
 
 // evalSlices evaluates all level-L candidates against the reduced one-hot
@@ -30,14 +35,14 @@ type ExternalEvaluator interface {
 // Algorithm 1 lines 16-18, b=nrow(S) the data-parallel plan), each block
 // scans X once and counts predicate matches through a per-block inverted
 // column index, never materializing the n × nrow(S) indicator I.
-func (st *state) evalSlices(lv *level, L int) error {
+func (st *state) evalSlices(ctx context.Context, lv *level, L int) error {
 	nSlices := lv.size()
 	if nSlices == 0 {
 		return nil
 	}
 	switch {
 	case st.eval != nil:
-		ss, se, sm, err := st.eval.Eval(lv.cols, L)
+		ss, se, sm, err := st.eval.Eval(ctx, lv.cols, L)
 		if err != nil {
 			return err
 		}

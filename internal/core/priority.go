@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // evalWithPriority implements priority-based enumeration (the future-work
 // direction of Section 7) inside the level-wise framework: candidates are
@@ -14,7 +17,7 @@ import "sort"
 //
 // It returns the level restricted to the actually evaluated candidates and
 // the number of additionally pruned ones.
-func (st *state) evalWithPriority(cand *level, lvl int, tk *topK) (*level, int, error) {
+func (st *state) evalWithPriority(ctx context.Context, cand *level, lvl int, tk *topK) (*level, int, error) {
 	n := cand.size()
 	order := make([]int, n)
 	for i := range order {
@@ -62,7 +65,7 @@ func (st *state) evalWithPriority(cand *level, lvl int, tk *topK) (*level, int, 
 			sm:   make([]float64, len(pick)),
 			ss:   make([]float64, len(pick)),
 		}
-		if err := st.evalSlices(sub, lvl); err != nil {
+		if err := st.evalSlices(ctx, sub, lvl); err != nil {
 			return nil, 0, err
 		}
 		for k := range sub.cols {

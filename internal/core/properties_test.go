@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -129,14 +130,14 @@ type faultyEvaluator struct {
 	short     bool
 }
 
-func (f *faultyEvaluator) Setup(x *matrix.CSR, e []float64) error {
+func (f *faultyEvaluator) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
 	if f.failSetup {
 		return errors.New("injected setup failure")
 	}
 	return nil
 }
 
-func (f *faultyEvaluator) Eval(cols [][]int, level int) ([]float64, []float64, []float64, error) {
+func (f *faultyEvaluator) Eval(ctx context.Context, cols [][]int, level int) ([]float64, []float64, []float64, error) {
 	if f.failEval {
 		return nil, nil, nil, errors.New("injected eval failure")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -41,18 +42,31 @@ type state struct {
 // per-level enumeration statistics. The error vector typically comes from
 // ml.SquaredLoss or ml.Inaccuracy applied to a trained model's predictions.
 func Run(ds *frame.Dataset, e []float64, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), ds, e, cfg)
+}
+
+// RunContext is Run with a caller-supplied context. Cancellation is honored
+// between lattice levels and propagated into external evaluators, so a
+// cancelled run aborts in-flight distributed evaluations instead of waiting
+// for the level to finish.
+func RunContext(ctx context.Context, ds *frame.Dataset, e []float64, cfg Config) (*Result, error) {
 	enc, err := frame.OneHot(ds)
 	if err != nil {
 		return nil, err
 	}
-	return RunEncoded(enc, ds.Features, e, cfg)
+	return RunEncodedContext(ctx, enc, ds.Features, e, cfg)
 }
 
 // RunEncoded is Run for callers that already hold the one-hot encoding,
 // avoiding re-encoding across parameter sweeps. feats supplies names and
 // decode labels for the result; it must align with the encoding.
 func RunEncoded(enc *frame.Encoding, feats []frame.Feature, e []float64, cfg Config) (*Result, error) {
-	return runEncoded(enc, feats, e, nil, cfg)
+	return runEncoded(context.Background(), enc, feats, e, nil, cfg)
+}
+
+// RunEncodedContext is RunEncoded with a caller-supplied context.
+func RunEncodedContext(ctx context.Context, enc *frame.Encoding, feats []frame.Feature, e []float64, cfg Config) (*Result, error) {
+	return runEncoded(ctx, enc, feats, e, nil, cfg)
 }
 
 // RunWeighted is Run for datasets with row weights: row i counts as w[i]
@@ -63,14 +77,19 @@ func RunEncoded(enc *frame.Encoding, feats []frame.Feature, e []float64, cfg Con
 // production data. Weights must be positive; non-integer weights are
 // permitted (Slice.Size then reports the truncated weighted size).
 func RunWeighted(ds *frame.Dataset, e, w []float64, cfg Config) (*Result, error) {
+	return RunWeightedContext(context.Background(), ds, e, w, cfg)
+}
+
+// RunWeightedContext is RunWeighted with a caller-supplied context.
+func RunWeightedContext(ctx context.Context, ds *frame.Dataset, e, w []float64, cfg Config) (*Result, error) {
 	enc, err := frame.OneHot(ds)
 	if err != nil {
 		return nil, err
 	}
-	return runEncoded(enc, ds.Features, e, w, cfg)
+	return runEncoded(ctx, enc, ds.Features, e, w, cfg)
 }
 
-func runEncoded(enc *frame.Encoding, feats []frame.Feature, e, w []float64, cfg Config) (*Result, error) {
+func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature, e, w []float64, cfg Config) (*Result, error) {
 	n := enc.X.Rows()
 	if len(e) != n {
 		return nil, fmt.Errorf("core: error vector length %d vs %d rows", len(e), n)
@@ -161,7 +180,7 @@ func runEncoded(enc *frame.Encoding, feats []frame.Feature, e, w []float64, cfg 
 	st.x = enc.X.SelectCols(cI)
 	if cfg.Evaluator != nil {
 		st.eval = cfg.Evaluator
-		if err := st.eval.Setup(st.x, e); err != nil {
+		if err := st.eval.Setup(ctx, st.x, e); err != nil {
 			return nil, fmt.Errorf("core: evaluator setup: %w", err)
 		}
 	}
@@ -180,22 +199,53 @@ func runEncoded(enc *frame.Encoding, feats []frame.Feature, e, w []float64, cfg 
 	}
 
 	tk := newTopK(cfg.K, float64(cfg.Sigma))
-	for i := range cur.cols {
-		tk.offer(cur.cols[i], cur.sc[i], cur.ss[i], cur.se[i], cur.sm[i])
+
+	var ck *checkpointer
+	if cfg.CheckpointPath != "" {
+		ck = &checkpointer{path: cfg.CheckpointPath, sig: checkpointSig(enc, e, w, cfg)}
 	}
-	st.recordLevel(res, LevelStats{
-		Level:      1,
-		Candidates: enc.Width(),
-		Valid:      countValid(cur, float64(cfg.Sigma)),
-		Elapsed:    time.Since(start),
-	})
+	resumedLevel := 0
+	if cfg.Resume && ck != nil {
+		lvl, err := ck.load(tk, cur, res)
+		if err != nil {
+			return nil, err
+		}
+		resumedLevel = lvl
+	}
+
+	if resumedLevel == 0 {
+		for i := range cur.cols {
+			tk.offer(cur.cols[i], cur.sc[i], cur.ss[i], cur.se[i], cur.sm[i])
+		}
+		ls := LevelStats{
+			Level:      1,
+			Candidates: enc.Width(),
+			Valid:      countValid(cur, float64(cfg.Sigma)),
+			Elapsed:    time.Since(start),
+		}
+		res.Levels = append(res.Levels, ls)
+		// Persist before the progress callback: a run killed inside the
+		// callback resumes from the level it just reported.
+		if err := ck.save(1, tk, cur, res); err != nil {
+			return nil, err
+		}
+		if st.cfg.OnLevel != nil {
+			st.cfg.OnLevel(ls)
+		}
+		resumedLevel = 1
+	}
 
 	// c) Level-wise lattice enumeration.
 	maxL := st.m
 	if cfg.MaxLevel > 0 && cfg.MaxLevel < maxL {
 		maxL = cfg.MaxLevel
 	}
-	for lvl := 2; lvl <= maxL && cur.size() > 0; lvl++ {
+	for lvl := resumedLevel + 1; lvl <= maxL && cur.size() > 0; lvl++ {
+		// Cancellation boundary: a checkpoint for the previous level is on
+		// disk, so a run aborted here resumes without losing completed work.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: enumeration cancelled before level %d: %w", lvl, err)
+		}
 		cand, pruned := st.pairCandidates(cur, lvl, tk.threshold())
 		if cand == nil {
 			// Generation itself exceeded the candidate budget.
@@ -219,27 +269,34 @@ func runEncoded(enc *frame.Encoding, feats []frame.Feature, e, w []float64, cfg 
 			break
 		}
 		if cfg.PriorityEnumeration {
-			evaluated, extraPruned, err := st.evalWithPriority(cand, lvl, tk)
+			evaluated, extraPruned, err := st.evalWithPriority(ctx, cand, lvl, tk)
 			if err != nil {
 				return nil, err
 			}
 			cand = evaluated
 			pruned += extraPruned
 		} else {
-			if err := st.evalSlices(cand, lvl); err != nil {
+			if err := st.evalSlices(ctx, cand, lvl); err != nil {
 				return nil, err
 			}
 			for i := range cand.cols {
 				tk.offer(cand.cols[i], cand.sc[i], cand.ss[i], cand.se[i], cand.sm[i])
 			}
 		}
-		st.recordLevel(res, LevelStats{
+		ls := LevelStats{
 			Level:      lvl,
 			Candidates: cand.size(),
 			Valid:      countValid(cand, float64(cfg.Sigma)),
 			Pruned:     pruned,
 			Elapsed:    time.Since(start),
-		})
+		}
+		res.Levels = append(res.Levels, ls)
+		if err := ck.save(lvl, tk, cand, res); err != nil {
+			return nil, err
+		}
+		if st.cfg.OnLevel != nil {
+			st.cfg.OnLevel(ls)
+		}
 		cur = cand
 	}
 

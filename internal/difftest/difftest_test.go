@@ -295,6 +295,43 @@ func TestDiffDeterminism(t *testing.T) {
 	}
 }
 
+// TestDiffChaosCluster: the self-healing runtime's differential guarantee.
+// A cluster with two seeded-chaos workers (timeouts, hedging, heartbeats
+// all live) must return results bit-identical to a fault-free cluster of
+// the same shape — failover and hedging re-execute whole partitions on
+// identical data and merge in partition order, so faults may change
+// performance but never a single ULP of the result — and agree with the
+// builtin plan within cross-plan tolerance.
+func TestDiffChaosCluster(t *testing.T) {
+	cleanRef := ClusterPlans(3)[0]
+	for _, seed := range Seeds(seedCount(6, 2)) {
+		c := Generate(seed, Defaults)
+		builtin, err := BuiltinPlans()[0].Run(c)
+		if err != nil {
+			failf(t, "TestDiffChaosCluster", seed, "builtin: %v", err)
+			continue
+		}
+		ref, err := cleanRef.Run(c)
+		if err != nil {
+			failf(t, "TestDiffChaosCluster", seed, "fault-free cluster: %v", err)
+			continue
+		}
+		for _, plan := range ChaosPlans(seed, seed+500) {
+			got, err := plan.Run(c)
+			if err != nil {
+				failf(t, "TestDiffChaosCluster", seed, "plan %s: %v", plan.Name, err)
+				continue
+			}
+			if err := CompareExact(ref, got); err != nil {
+				failf(t, "TestDiffChaosCluster", seed, "plan %s not bit-identical to fault-free cluster: %v", plan.Name, err)
+			}
+			if err := CompareResults(builtin, got, Tol); err != nil {
+				failf(t, "TestDiffChaosCluster", seed, "plan %s disagrees with builtin: %v", plan.Name, err)
+			}
+		}
+	}
+}
+
 // TestShrink exercises the case minimizer on a synthetic failure predicate.
 func TestShrink(t *testing.T) {
 	c := Generate(1, Defaults)

@@ -3,9 +3,11 @@ package difftest
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"sliceline/internal/core"
 	"sliceline/internal/dist"
+	"sliceline/internal/faults"
 )
 
 // Plan is one named execution backend. Run executes the case's
@@ -134,6 +136,41 @@ func TCPPlans(workerCounts ...int) []Plan {
 				workers = append(workers, w)
 			}
 			cl, err := dist.NewCluster(workers, 0)
+			if err != nil {
+				return nil, err
+			}
+			defer cl.Close()
+			cfg := c.Cfg
+			cfg.Evaluator = cl
+			return core.Run(c.DS, c.E, cfg)
+		}})
+	}
+	return plans
+}
+
+// ChaosPlans enumerates Dist-PFor clusters with seeded fault injection: one
+// clean worker plus faulty workers running the faults.Chaos profile, with
+// deadlines, hedging and heartbeats enabled. Differentially comparing them
+// against the fault-free plans asserts the self-healing runtime's core
+// guarantee — faults change performance, never results. The fault pattern is
+// a pure function of the plan's seed, so a differential failure reproduces
+// from the case seed and plan name alone.
+func ChaosPlans(seeds ...int64) []Plan {
+	var plans []Plan
+	for _, seed := range seeds {
+		seed := seed
+		plans = append(plans, Plan{Name: fmt.Sprintf("cluster/chaos-%d", seed), run: func(c *Case) (*core.Result, error) {
+			workers := []dist.Worker{
+				&dist.InProcessWorker{}, // always one clean exit
+				faults.Wrap(&dist.InProcessWorker{}, faults.Seeded(seed, faults.Chaos)),
+				faults.Wrap(&dist.InProcessWorker{}, faults.Seeded(seed+1000, faults.Chaos)),
+			}
+			cl, err := dist.NewClusterOpts(workers, dist.Options{
+				CallTimeout:       500 * time.Millisecond,
+				HedgeDelay:        50 * time.Millisecond,
+				HeartbeatInterval: 25 * time.Millisecond,
+				HeartbeatTimeout:  100 * time.Millisecond,
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -17,12 +17,25 @@
 // into core.Config.Evaluator while enumeration, pruning, and top-K
 // maintenance stay on the driver — exactly the paper's architecture where
 // the candidate matrix S is broadcast and X is scanned data-locally.
+//
+// The Dist-PFor cluster is self-healing: per-call deadlines bound slow and
+// hung workers, partitions fail over off dead workers (with in-place reload
+// for restarted-but-amnesiac ones), stragglers are hedged by speculative
+// re-execution on a second worker, and an optional background heartbeat
+// probes workers between levels so death is detected proactively rather
+// than mid-Eval. All of it preserves the deterministic partition-order
+// merge, so a faulty run returns bit-identical statistics to a fault-free
+// one.
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
+	"time"
 
 	"sliceline/internal/core"
 	"sliceline/internal/matrix"
@@ -71,14 +84,14 @@ func NewLocal(strategy Strategy, blockSize int) (*Local, error) {
 }
 
 // Setup implements core.ExternalEvaluator.
-func (l *Local) Setup(x *matrix.CSR, e []float64) error {
+func (l *Local) Setup(_ context.Context, x *matrix.CSR, e []float64) error {
 	l.x = x
 	l.e = e
 	return nil
 }
 
 // Eval implements core.ExternalEvaluator.
-func (l *Local) Eval(cols [][]int, level int) (ss, se, sm []float64, err error) {
+func (l *Local) Eval(_ context.Context, cols [][]int, level int) (ss, se, sm []float64, err error) {
 	if l.x == nil {
 		return nil, nil, nil, errors.New("dist: Eval before Setup")
 	}
@@ -108,6 +121,61 @@ func (l *Local) Eval(cols [][]int, level int) (ss, se, sm []float64, err error) 
 	return ss, se, sm, nil
 }
 
+// Options configures the Dist-PFor cluster's execution and self-healing
+// behavior. The zero value disables every timeout and mitigation, matching
+// the pre-robustness semantics.
+type Options struct {
+	// BlockSize is the per-worker evaluation block size. <= 0 selects the
+	// automatic size on each worker.
+	BlockSize int
+
+	// CallTimeout bounds every Load/Eval/Ping RPC. A call exceeding it is
+	// treated as a worker failure and fails over. 0 means no deadline.
+	CallTimeout time.Duration
+
+	// HedgeDelay, when > 0, speculatively re-executes a partition on a
+	// second live worker once its evaluation has run longer than this fixed
+	// threshold; the first well-formed result wins.
+	HedgeDelay time.Duration
+
+	// HedgeMultiplier, when > 0, enables adaptive hedging: once at least
+	// half of a level's partitions have completed, a still-running
+	// partition is hedged when its elapsed time exceeds the multiplier
+	// times the median completed-partition duration. Combined with
+	// HedgeDelay, the fixed threshold takes precedence.
+	HedgeMultiplier float64
+
+	// HeartbeatInterval, when > 0, starts a background health checker at
+	// Setup that pings every worker at this interval, between levels, and
+	// proactively re-ships partitions off suspected-dead workers instead of
+	// discovering death mid-Eval. A previously dead worker that answers a
+	// probe again rejoins the rotation as a failover/hedge target.
+	HeartbeatInterval time.Duration
+
+	// HeartbeatTimeout bounds one probe. <= 0 defaults to CallTimeout, or
+	// 2s when no call timeout is set.
+	HeartbeatTimeout time.Duration
+
+	// HeartbeatStrikes is the number of consecutive failed probes before a
+	// worker is declared suspect and its partitions are re-shipped. <= 0
+	// defaults to 2.
+	HeartbeatStrikes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatTimeout <= 0 {
+		if o.CallTimeout > 0 {
+			o.HeartbeatTimeout = o.CallTimeout
+		} else {
+			o.HeartbeatTimeout = 2 * time.Second
+		}
+	}
+	if o.HeartbeatStrikes <= 0 {
+		o.HeartbeatStrikes = 2
+	}
+	return o
+}
+
 // Cluster is a row-partitioned data-parallel evaluator (Dist-PFor). Each
 // worker holds one partition; Eval broadcasts the candidate slices to every
 // worker and aggregates the returned partial statistics. When a worker
@@ -115,13 +183,18 @@ func (l *Local) Eval(cols [][]int, level int) (ss, se, sm []float64, err error) 
 // retains the partitions it shipped at Setup), so a run survives up to
 // len(workers)-1 crashes.
 type Cluster struct {
-	workers   []Worker
-	blockSize int
+	workers []Worker
+	opts    Options
 
-	mu     sync.Mutex
-	alive  []bool
-	parts  []partition // partition p as shipped at Setup
-	assign []int       // partition p → worker index currently holding it
+	mu      sync.Mutex
+	ready   bool
+	alive   []bool
+	strikes []int       // consecutive failed heartbeat probes per worker
+	parts   []partition // partition p as shipped at Setup
+	assign  []int       // partition p → worker index currently holding it
+
+	hbStop chan struct{}
+	hbDone chan struct{}
 }
 
 type partition struct {
@@ -131,86 +204,155 @@ type partition struct {
 
 // Worker is one executor holding row partitions of the dataset, keyed by
 // partition id so failed partitions can fail over to workers that already
-// hold their own.
+// hold their own. Every operation takes a context carrying the driver's
+// per-call deadline; implementations must abort promptly when it is done.
 type Worker interface {
 	// Load ships partition part to the worker.
-	Load(part int, x *matrix.CSR, e []float64) error
+	Load(ctx context.Context, part int, x *matrix.CSR, e []float64) error
 	// Eval evaluates the candidates against the worker's copy of partition
 	// part.
-	Eval(part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error)
+	Eval(ctx context.Context, part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error)
+	// Ping probes liveness; the cluster's heartbeat checker calls it
+	// between levels.
+	Ping(ctx context.Context) error
 	// Close releases the worker.
 	Close() error
 }
 
 // NewCluster returns a Dist-PFor evaluator over the given workers.
-// blockSize <= 0 selects the automatic size on each worker.
+// blockSize <= 0 selects the automatic size on each worker. Timeouts,
+// hedging and heartbeats are disabled; use NewClusterOpts to enable them.
 func NewCluster(workers []Worker, blockSize int) (*Cluster, error) {
+	return NewClusterOpts(workers, Options{BlockSize: blockSize})
+}
+
+// NewClusterOpts returns a Dist-PFor evaluator with explicit robustness
+// options.
+func NewClusterOpts(workers []Worker, opts Options) (*Cluster, error) {
 	if len(workers) == 0 {
 		return nil, errors.New("dist: cluster needs at least one worker")
 	}
-	return &Cluster{workers: workers, blockSize: blockSize}, nil
+	return &Cluster{workers: workers, opts: opts.withDefaults()}, nil
+}
+
+// callCtx derives the per-RPC context from the run context.
+func (c *Cluster) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.opts.CallTimeout > 0 {
+		return context.WithTimeout(ctx, c.opts.CallTimeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // Setup partitions X and e row-wise across the workers and ships the
 // partitions, the data-locality setup of the paper's distributed plan. The
 // driver retains the partitions so they can fail over to healthy workers.
-func (c *Cluster) Setup(x *matrix.CSR, e []float64) error {
+//
+// Partitioning is balanced: sizes differ by at most one row, and no worker
+// is shipped an empty partition — with fewer rows than workers only the
+// first n workers receive one; the rest stay pure failover/hedge targets.
+func (c *Cluster) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
+	c.stopHeartbeat()
 	n := x.Rows()
 	w := len(c.workers)
-	per := (n + w - 1) / w
+	nParts := w
+	if n < nParts {
+		nParts = n
+	}
 	c.mu.Lock()
+	c.ready = false
 	c.alive = make([]bool, w)
+	for k := range c.alive {
+		c.alive[k] = true
+	}
+	c.strikes = make([]int, w)
 	c.parts = c.parts[:0]
 	c.assign = c.assign[:0]
 	c.mu.Unlock()
-	for k, wk := range c.workers {
-		lo := k * per
-		hi := lo + per
-		if lo > n {
-			lo = n
+	base, rem := 0, 0
+	if nParts > 0 {
+		base, rem = n/nParts, n%nParts
+	}
+	lo := 0
+	for k := 0; k < nParts; k++ {
+		size := base
+		if k < rem {
+			size++
 		}
-		if hi > n {
-			hi = n
-		}
+		hi := lo + size
 		part := partition{x: x.SelectRows(seq(lo, hi)), e: e[lo:hi]}
-		if err := wk.Load(k, part.x, part.e); err != nil {
-			return fmt.Errorf("dist: loading worker %d: %w", k, err)
+		// Prefer worker k, but a worker whose initial Load fails is marked
+		// dead and its partition shipped to another live one — a cluster
+		// with a dead member at startup still comes up.
+		wi := k
+		for {
+			lctx, cancel := c.callCtx(ctx)
+			err := c.workers[wi].Load(lctx, k, part.x, part.e)
+			cancel()
+			if err == nil {
+				break
+			}
+			if ctx.Err() != nil {
+				return fmt.Errorf("dist: loading worker %d: %w", wi, err)
+			}
+			c.markDead(wi)
+			if wi = c.nextLive(-1); wi < 0 {
+				return fmt.Errorf("dist: no live worker accepts partition %d: %w", k, err)
+			}
 		}
 		c.mu.Lock()
-		c.alive[k] = true
 		c.parts = append(c.parts, part)
-		c.assign = append(c.assign, k)
+		c.assign = append(c.assign, wi)
 		c.mu.Unlock()
+		lo = hi
 	}
+	c.mu.Lock()
+	c.ready = true
+	c.mu.Unlock()
+	c.startHeartbeat()
 	return nil
 }
 
 // Eval broadcasts the candidates, evaluates every partition concurrently,
 // and sums the partial (ss, se) vectors and maxes the sm vectors. A failed
-// worker is marked dead and its partition retried on a healthy worker.
+// worker is marked dead and its partition retried on a healthy worker; a
+// straggling partition is speculatively re-executed on a second worker when
+// hedging is enabled (first well-formed result wins).
 //
 // Partials are merged in partition order after all evaluations complete:
 // float64 addition is not associative, so merging in goroutine-completion
-// order would make repeated evaluations of the same candidates return se
-// values differing in the last ULPs — the differential test harness asserts
-// run-to-run determinism per plan.
-func (c *Cluster) Eval(cols [][]int, level int) (ss, se, sm []float64, err error) {
-	if len(c.parts) == 0 {
+// order — or folding in a hedged duplicate — would make repeated
+// evaluations of the same candidates return se values differing in the last
+// ULPs. The differential test harness asserts run-to-run determinism per
+// plan, faults or not.
+func (c *Cluster) Eval(ctx context.Context, cols [][]int, level int) (ss, se, sm []float64, err error) {
+	c.mu.Lock()
+	ready := c.ready
+	nParts := len(c.parts)
+	c.mu.Unlock()
+	if !ready {
 		return nil, nil, nil, errors.New("dist: Eval before Setup")
 	}
 	n := len(cols)
+	ss = make([]float64, n)
+	se = make([]float64, n)
+	sm = make([]float64, n)
+	if nParts == 0 {
+		// Zero-row dataset: nothing was shipped, every statistic is zero.
+		return ss, se, sm, nil
+	}
 	type partial struct {
 		ss, se, sm []float64
 	}
-	partials := make([]partial, len(c.parts))
+	hc := c.newHedger(nParts)
+	partials := make([]partial, nParts)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	var firstErr error
-	for p := range c.parts {
+	for p := 0; p < nParts; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			pss, pse, psm, werr := c.evalPartition(p, cols, level)
+			pss, pse, psm, werr := c.evalPartitionHedged(ctx, hc, p, cols, level)
 			if werr != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -226,9 +368,6 @@ func (c *Cluster) Eval(cols [][]int, level int) (ss, se, sm []float64, err error
 	if firstErr != nil {
 		return nil, nil, nil, firstErr
 	}
-	ss = make([]float64, n)
-	se = make([]float64, n)
-	sm = make([]float64, n)
 	for _, pt := range partials {
 		for i := 0; i < n; i++ {
 			ss[i] += pt.ss[i]
@@ -241,77 +380,417 @@ func (c *Cluster) Eval(cols [][]int, level int) (ss, se, sm []float64, err error
 	return ss, se, sm, nil
 }
 
-// tryEval runs one Eval on worker wi and validates the result shape. A
-// worker answering with partial results (wrong vector lengths) is treated
-// exactly like a crashed worker: silently folding short vectors into the
-// aggregate would corrupt every slice statistic downstream.
-func (c *Cluster) tryEval(wi, p int, cols [][]int, level int) (ss, se, sm []float64, err error) {
-	ss, se, sm, err = c.workers[wi].Eval(p, cols, level, c.blockSize)
-	if err == nil && (len(ss) != len(cols) || len(se) != len(cols) || len(sm) != len(cols)) {
-		err = fmt.Errorf("dist: worker %d returned %d/%d/%d statistics for %d candidates",
+// tryEval runs one Eval on worker wi and validates the result shape and
+// domain. A worker answering with partial results (wrong vector lengths) or
+// corrupt statistics (NaN, infinite, or negative values — e.g. a torn or
+// garbled reply) is treated exactly like a crashed worker: silently folding
+// malformed vectors into the aggregate would corrupt every slice statistic
+// downstream.
+func (c *Cluster) tryEval(ctx context.Context, wi, p int, cols [][]int, level int) (ss, se, sm []float64, err error) {
+	cctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	ss, se, sm, err = c.workers[wi].Eval(cctx, p, cols, level, c.opts.BlockSize)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(ss) != len(cols) || len(se) != len(cols) || len(sm) != len(cols) {
+		return nil, nil, nil, fmt.Errorf("dist: worker %d returned %d/%d/%d statistics for %d candidates",
 			wi, len(ss), len(se), len(sm), len(cols))
 	}
-	return ss, se, sm, err
+	for i := range ss {
+		if !validStat(ss[i]) || !validStat(se[i]) || !validStat(sm[i]) {
+			return nil, nil, nil, fmt.Errorf("dist: worker %d returned corrupt statistics (ss=%v se=%v sm=%v at %d)",
+				wi, ss[i], se[i], sm[i], i)
+		}
+	}
+	return ss, se, sm, nil
 }
 
-// evalPartition evaluates one partition, failing over to other live workers
-// when the assigned one errors or returns malformed statistics.
-func (c *Cluster) evalPartition(p int, cols [][]int, level int) (ss, se, sm []float64, err error) {
-	for attempt := 0; attempt < len(c.workers); attempt++ {
+// validStat reports whether one partial statistic is in its domain: slice
+// sizes, error sums, and error maxima are all finite and non-negative.
+func validStat(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+func (c *Cluster) loadPartition(ctx context.Context, wi, p int) error {
+	c.mu.Lock()
+	part := c.parts[p]
+	c.mu.Unlock()
+	lctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	return c.workers[wi].Load(lctx, p, part.x, part.e)
+}
+
+func (c *Cluster) markDead(wi int) {
+	c.mu.Lock()
+	c.alive[wi] = false
+	c.mu.Unlock()
+}
+
+func (c *Cluster) setAssign(p, wi int) {
+	c.mu.Lock()
+	c.assign[p] = wi
+	c.mu.Unlock()
+}
+
+// nextLive returns the lowest-indexed live worker excluding avoid, or -1.
+func (c *Cluster) nextLive(avoid int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, a := range c.alive {
+		if a && k != avoid {
+			return k
+		}
+	}
+	return -1
+}
+
+// evalPartitionChain evaluates one partition, failing over to other live
+// workers when the assigned one errors, times out, or returns malformed
+// statistics. avoid (when >= 0) excludes one worker from selection — hedged
+// requests must not land on the straggler they are hedging against. It
+// returns the worker that produced the result so the caller can update the
+// assignment.
+func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, level, avoid int) (ss, se, sm []float64, winner int, err error) {
+	for attempt := 0; attempt <= len(c.workers); attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			return nil, nil, nil, -1, err
+		}
 		c.mu.Lock()
 		wi := c.assign[p]
-		ok := c.alive[wi]
+		ok := c.alive[wi] && wi != avoid
 		c.mu.Unlock()
 		if ok {
-			ss, se, sm, err = c.tryEval(wi, p, cols, level)
+			ss, se, sm, err = c.tryEval(ctx, wi, p, cols, level)
 			if err == nil {
-				return ss, se, sm, nil
+				return ss, se, sm, wi, nil
+			}
+			if ctx.Err() != nil {
+				// The run (or this hedge attempt) was cancelled, not the
+				// worker misbehaving — do not poison its liveness.
+				return nil, nil, nil, -1, err
 			}
 			// The worker may be alive but amnesiac: a TCP worker restarted
 			// on the same address answers RemoteWorker's redial but has lost
 			// every partition. Reload the partition in place once before
 			// declaring the worker dead, so a restarted worker rejoins the
 			// run instead of shifting its load onto the survivors.
-			if lerr := c.workers[wi].Load(p, c.parts[p].x, c.parts[p].e); lerr == nil {
-				ss, se, sm, err = c.tryEval(wi, p, cols, level)
+			if lerr := c.loadPartition(ctx, wi, p); lerr == nil {
+				ss, se, sm, err = c.tryEval(ctx, wi, p, cols, level)
 				if err == nil {
-					return ss, se, sm, nil
+					return ss, se, sm, wi, nil
 				}
+			}
+			if ctx.Err() != nil {
+				return nil, nil, nil, -1, err
 			}
 			// Mark the worker dead; its other partitions will fail over as
 			// their own evaluations error out.
-			c.mu.Lock()
-			c.alive[wi] = false
-			c.mu.Unlock()
+			c.markDead(wi)
 		}
 		// Find a healthy worker, reship the partition, and retry.
-		c.mu.Lock()
-		next := -1
-		for k, a := range c.alive {
-			if a {
-				next = k
-				break
-			}
-		}
-		if next >= 0 {
-			c.assign[p] = next
-		}
-		c.mu.Unlock()
+		next := c.nextLive(avoid)
 		if next < 0 {
-			return nil, nil, nil, fmt.Errorf("dist: no live workers left for partition %d: %w", p, err)
+			if err == nil {
+				err = errors.New("dist: worker unavailable")
+			}
+			return nil, nil, nil, -1, fmt.Errorf("dist: no live workers left for partition %d: %w", p, err)
 		}
-		if lerr := c.workers[next].Load(p, c.parts[p].x, c.parts[p].e); lerr != nil {
-			c.mu.Lock()
-			c.alive[next] = false
-			c.mu.Unlock()
+		c.setAssign(p, next)
+		if lerr := c.loadPartition(ctx, next, p); lerr != nil {
+			if ctx.Err() != nil {
+				return nil, nil, nil, -1, lerr
+			}
+			c.markDead(next)
 			continue
 		}
 	}
-	return nil, nil, nil, fmt.Errorf("dist: partition %d failed on every worker: %w", p, err)
+	return nil, nil, nil, -1, fmt.Errorf("dist: partition %d failed on every worker: %w", p, err)
 }
 
-// Close shuts down all workers, returning the first error.
+// hedger tracks completed-partition durations within one Eval (one lattice
+// level chunk) and decides when a still-running partition counts as a
+// straggler. A nil or disabled hedger never fires.
+type hedger struct {
+	fixed time.Duration
+	mult  float64
+	parts int
+
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+func (c *Cluster) newHedger(nParts int) *hedger {
+	if c.opts.HedgeDelay <= 0 && c.opts.HedgeMultiplier <= 0 {
+		return nil
+	}
+	return &hedger{fixed: c.opts.HedgeDelay, mult: c.opts.HedgeMultiplier, parts: nParts}
+}
+
+func (h *hedger) record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.durs = append(h.durs, d)
+	h.mu.Unlock()
+}
+
+// threshold returns the current straggler threshold. With a fixed delay it
+// is always available; in adaptive mode it needs completions from at least
+// half the level's partitions first.
+func (h *hedger) threshold() (time.Duration, bool) {
+	if h == nil {
+		return 0, false
+	}
+	if h.fixed > 0 {
+		return h.fixed, true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.durs) == 0 || len(h.durs)*2 < h.parts {
+		return 0, false
+	}
+	durs := append([]time.Duration(nil), h.durs...)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	med := durs[len(durs)/2]
+	th := time.Duration(float64(med) * h.mult)
+	if th < time.Millisecond {
+		th = time.Millisecond
+	}
+	return th, true
+}
+
+// adaptive reports whether the threshold may still become available as more
+// partitions complete, so the waiter should re-check periodically.
+func (h *hedger) adaptive() bool { return h != nil && h.fixed <= 0 && h.mult > 0 }
+
+// hedgeRecheck is how often an adaptive hedger re-evaluates its evidence
+// while no threshold is available yet.
+const hedgeRecheck = 2 * time.Millisecond
+
+// evalPartitionHedged evaluates one partition with straggler mitigation:
+// when the primary attempt outlives the hedge threshold, the partition is
+// speculatively re-executed on another live worker (shipping it there if
+// needed) and the first well-formed result wins. The loser is cancelled;
+// its result, if any, is discarded whole — never merged — so determinism is
+// preserved.
+func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, cols [][]int, level int) (ss, se, sm []float64, err error) {
+	type outcome struct {
+		ss, se, sm []float64
+		winner     int
+		err        error
+	}
+	start := time.Now()
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	primary := make(chan outcome, 1)
+	go func() {
+		oss, ose, osm, wi, oerr := c.evalPartitionChain(pctx, p, cols, level, -1)
+		primary <- outcome{oss, ose, osm, wi, oerr}
+	}()
+	if hc == nil {
+		out := <-primary
+		if out.err == nil {
+			c.setAssign(p, out.winner)
+		}
+		return out.ss, out.se, out.sm, out.err
+	}
+
+	hcancel := func() {}
+	defer func() { hcancel() }()
+	var hedge chan outcome
+	var primaryErr error
+	for {
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if hedge == nil && primary != nil {
+			if th, ok := hc.threshold(); ok {
+				wait := th - time.Since(start)
+				if wait < 0 {
+					wait = 0
+				}
+				timer = time.NewTimer(wait)
+			} else if hc.adaptive() {
+				timer = time.NewTimer(hedgeRecheck)
+			}
+			if timer != nil {
+				timerC = timer.C
+			}
+		}
+		select {
+		case out := <-primary:
+			stopTimer(timer)
+			if out.err == nil {
+				hcancel()
+				hc.record(time.Since(start))
+				c.setAssign(p, out.winner)
+				return out.ss, out.se, out.sm, nil
+			}
+			if hedge == nil {
+				return nil, nil, nil, out.err
+			}
+			primary, primaryErr = nil, out.err
+		case out := <-hedge:
+			stopTimer(timer)
+			if out.err == nil {
+				pcancel()
+				hc.record(time.Since(start))
+				c.setAssign(p, out.winner)
+				return out.ss, out.se, out.sm, nil
+			}
+			if primary == nil {
+				return nil, nil, nil, primaryErr
+			}
+			hedge = nil // primary may still succeed; keep waiting
+		case <-timerC:
+			stopTimer(timer)
+			if th, ok := hc.threshold(); !ok || time.Since(start) < th {
+				continue // adaptive evidence not conclusive yet
+			}
+			c.mu.Lock()
+			straggler := c.assign[p]
+			c.mu.Unlock()
+			if c.nextLive(straggler) < 0 {
+				continue // nowhere to hedge; keep waiting on the primary
+			}
+			hctx, cancel := context.WithCancel(ctx)
+			hcancel = cancel
+			ch := make(chan outcome, 1)
+			hedge = ch
+			go func() {
+				oss, ose, osm, wi, oerr := c.evalPartitionChain(hctx, p, cols, level, straggler)
+				ch <- outcome{oss, ose, osm, wi, oerr}
+			}()
+		case <-ctx.Done():
+			stopTimer(timer)
+			return nil, nil, nil, ctx.Err()
+		}
+	}
+}
+
+func stopTimer(t *time.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// startHeartbeat launches the background health checker when configured.
+func (c *Cluster) startHeartbeat() {
+	if c.opts.HeartbeatInterval <= 0 {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.mu.Lock()
+	c.hbStop, c.hbDone = stop, done
+	c.mu.Unlock()
+	go c.heartbeatLoop(stop, done)
+}
+
+func (c *Cluster) stopHeartbeat() {
+	c.mu.Lock()
+	stop, done := c.hbStop, c.hbDone
+	c.hbStop, c.hbDone = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+func (c *Cluster) heartbeatLoop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(c.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		c.probeAll(stop)
+	}
+}
+
+// probeAll pings every worker once. A worker failing HeartbeatStrikes
+// consecutive probes is declared suspect: it is marked dead and its
+// partitions are re-shipped to live workers immediately, so the next Eval
+// never has to discover the death the hard way. A dead worker that answers
+// again is resurrected into the rotation (its partitions were already moved;
+// it serves as a failover/hedge target until one lands on it).
+func (c *Cluster) probeAll(stop chan struct{}) {
+	for wi := range c.workers {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		pctx, cancel := context.WithTimeout(context.Background(), c.opts.HeartbeatTimeout)
+		err := c.workers[wi].Ping(pctx)
+		cancel()
+		c.mu.Lock()
+		if err == nil {
+			c.strikes[wi] = 0
+			c.alive[wi] = true
+			c.mu.Unlock()
+			continue
+		}
+		c.strikes[wi]++
+		suspect := c.alive[wi] && c.strikes[wi] >= c.opts.HeartbeatStrikes
+		if suspect {
+			c.alive[wi] = false
+		}
+		c.mu.Unlock()
+		if suspect {
+			c.reshipFrom(wi)
+		}
+	}
+}
+
+// reshipFrom moves every partition assigned to a suspected-dead worker onto
+// live workers, round-robin. A failed re-ship leaves the assignment for the
+// mid-Eval failover path to retry.
+func (c *Cluster) reshipFrom(dead int) {
+	c.mu.Lock()
+	var moves [][2]int // partition, target worker
+	live := make([]int, 0, len(c.workers))
+	for k, a := range c.alive {
+		if a {
+			live = append(live, k)
+		}
+	}
+	if len(live) > 0 {
+		r := 0
+		for p, wi := range c.assign {
+			if wi != dead {
+				continue
+			}
+			moves = append(moves, [2]int{p, live[r%len(live)]})
+			r++
+		}
+	}
+	c.mu.Unlock()
+	for _, m := range moves {
+		p, target := m[0], m[1]
+		// Bound the re-ship even when no CallTimeout is configured — a hung
+		// target must not wedge the heartbeat loop (Close waits for it).
+		rctx, cancel := context.WithTimeout(context.Background(), c.opts.HeartbeatTimeout)
+		err := c.loadPartition(rctx, target, p)
+		cancel()
+		if err == nil {
+			c.setAssign(p, target)
+		}
+	}
+}
+
+// Close stops the health checker and shuts down all workers, returning the
+// first error.
 func (c *Cluster) Close() error {
+	c.stopHeartbeat()
 	var first error
 	for _, wk := range c.workers {
 		if err := wk.Close(); err != nil && first == nil {
@@ -329,7 +808,7 @@ type InProcessWorker struct {
 }
 
 // Load implements Worker.
-func (w *InProcessWorker) Load(part int, x *matrix.CSR, e []float64) error {
+func (w *InProcessWorker) Load(_ context.Context, part int, x *matrix.CSR, e []float64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.parts == nil {
@@ -340,7 +819,7 @@ func (w *InProcessWorker) Load(part int, x *matrix.CSR, e []float64) error {
 }
 
 // Eval implements Worker.
-func (w *InProcessWorker) Eval(part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error) {
+func (w *InProcessWorker) Eval(_ context.Context, part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error) {
 	w.mu.Lock()
 	p, ok := w.parts[part]
 	w.mu.Unlock()
@@ -354,6 +833,9 @@ func (w *InProcessWorker) Eval(part int, cols [][]int, level, blockSize int) (ss
 	core.EvalPartition(p.x, p.e, cols, level, blockSize, ss, se, sm)
 	return ss, se, sm, nil
 }
+
+// Ping implements Worker.
+func (w *InProcessWorker) Ping(context.Context) error { return nil }
 
 // Close implements Worker.
 func (w *InProcessWorker) Close() error { return nil }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"testing"
@@ -113,7 +114,7 @@ func TestClusterValidation(t *testing.T) {
 
 func TestWorkerEvalBeforeLoad(t *testing.T) {
 	w := &InProcessWorker{}
-	if _, _, _, err := w.Eval(0, [][]int{{0}}, 1, 0); err == nil {
+	if _, _, _, err := w.Eval(context.Background(), 0, [][]int{{0}}, 1, 0); err == nil {
 		t.Fatal("expected error for eval before load")
 	}
 }
@@ -191,7 +192,7 @@ func TestRemoteEvalBeforeLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.Close()
-	if _, _, _, err := w.Eval(0, [][]int{{0}}, 1, 0); err == nil {
+	if _, _, _, err := w.Eval(context.Background(), 0, [][]int{{0}}, 1, 0); err == nil {
 		t.Fatal("expected error for remote eval before load")
 	}
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"net"
@@ -18,18 +19,25 @@ type flakyWorker struct {
 	dead bool
 }
 
-func (w *flakyWorker) Eval(part int, cols [][]int, level, blockSize int) ([]float64, []float64, []float64, error) {
+func (w *flakyWorker) Eval(ctx context.Context, part int, cols [][]int, level, blockSize int) ([]float64, []float64, []float64, error) {
 	if w.dead {
 		return nil, nil, nil, errors.New("injected worker crash")
 	}
-	return w.InProcessWorker.Eval(part, cols, level, blockSize)
+	return w.InProcessWorker.Eval(ctx, part, cols, level, blockSize)
 }
 
-func (w *flakyWorker) Load(part int, x *matrix.CSR, e []float64) error {
+func (w *flakyWorker) Load(ctx context.Context, part int, x *matrix.CSR, e []float64) error {
 	if w.dead {
 		return errors.New("injected worker crash")
 	}
-	return w.InProcessWorker.Load(part, x, e)
+	return w.InProcessWorker.Load(ctx, part, x, e)
+}
+
+func (w *flakyWorker) Ping(context.Context) error {
+	if w.dead {
+		return errors.New("injected worker crash")
+	}
+	return nil
 }
 
 // TestClusterFailoverMidRun: killing a worker after Setup must not change
@@ -61,11 +69,11 @@ func TestClusterFailoverMidRun(t *testing.T) {
 		0, 1,
 	}))
 	ev := []float64{1, 1, 1, 1, 1, 1}
-	if err := cl.Setup(x, ev); err != nil {
+	if err := cl.Setup(context.Background(), x, ev); err != nil {
 		t.Fatal(err)
 	}
 	w1.dead = true
-	ss, se, _, err := cl.Eval([][]int{{0}, {1}}, 1)
+	ss, se, _, err := cl.Eval(context.Background(), [][]int{{0}, {1}}, 1)
 	if err != nil {
 		t.Fatalf("failover Eval: %v", err)
 	}
@@ -100,8 +108,8 @@ type killAfterSetup struct {
 	victim *flakyWorker
 }
 
-func (k *killAfterSetup) Setup(x *matrix.CSR, e []float64) error {
-	if err := k.Cluster.Setup(x, e); err != nil {
+func (k *killAfterSetup) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
+	if err := k.Cluster.Setup(ctx, x, e); err != nil {
 		return err
 	}
 	k.victim.dead = true
@@ -117,7 +125,7 @@ type countdownWorker struct {
 	failAfter int
 }
 
-func (w *countdownWorker) Eval(part int, cols [][]int, level, blockSize int) ([]float64, []float64, []float64, error) {
+func (w *countdownWorker) Eval(ctx context.Context, part int, cols [][]int, level, blockSize int) ([]float64, []float64, []float64, error) {
 	w.callMu.Lock()
 	w.calls++
 	crashed := w.calls > w.failAfter
@@ -125,7 +133,7 @@ func (w *countdownWorker) Eval(part int, cols [][]int, level, blockSize int) ([]
 	if crashed {
 		return nil, nil, nil, errors.New("injected crash mid-level")
 	}
-	return w.InProcessWorker.Eval(part, cols, level, blockSize)
+	return w.InProcessWorker.Eval(ctx, part, cols, level, blockSize)
 }
 
 // TestClusterWorkerDeathMidLevel: a worker crashing in the middle of
@@ -175,8 +183,8 @@ type shortWorker struct {
 	InProcessWorker
 }
 
-func (w *shortWorker) Eval(part int, cols [][]int, level, blockSize int) ([]float64, []float64, []float64, error) {
-	ss, se, sm, err := w.InProcessWorker.Eval(part, cols, level, blockSize)
+func (w *shortWorker) Eval(ctx context.Context, part int, cols [][]int, level, blockSize int) ([]float64, []float64, []float64, error) {
+	ss, se, sm, err := w.InProcessWorker.Eval(ctx, part, cols, level, blockSize)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -202,10 +210,10 @@ func TestClusterPartialResultsFailover(t *testing.T) {
 		0, 1,
 	}))
 	ev := []float64{1, 1, 1, 1, 1, 1}
-	if err := cl.Setup(x, ev); err != nil {
+	if err := cl.Setup(context.Background(), x, ev); err != nil {
 		t.Fatal(err)
 	}
-	ss, se, _, err := cl.Eval([][]int{{0}, {1}}, 1)
+	ss, se, _, err := cl.Eval(context.Background(), [][]int{{0}, {1}}, 1)
 	if err != nil {
 		t.Fatalf("partial-result failover Eval: %v", err)
 	}
@@ -255,14 +263,14 @@ func TestClusterReloadsAmnesiacWorker(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := matrix.CSRFromDense(matrix.NewDenseData(4, 1, []float64{1, 1, 0, 1}))
-	if err := cl.Setup(x, []float64{1, 1, 1, 1}); err != nil {
+	if err := cl.Setup(context.Background(), x, []float64{1, 1, 1, 1}); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate the restart: the worker forgets every partition.
 	w0.mu.Lock()
 	w0.parts = nil
 	w0.mu.Unlock()
-	ss, se, _, err := cl.Eval([][]int{{0}}, 1)
+	ss, se, _, err := cl.Eval(context.Background(), [][]int{{0}}, 1)
 	if err != nil {
 		t.Fatalf("Eval after amnesia: %v", err)
 	}
@@ -335,10 +343,10 @@ func TestTCPWorkerRestartReconnect(t *testing.T) {
 		0, 1,
 	}))
 	ev := []float64{1, 1, 1, 1, 1, 1}
-	if err := cl.Setup(x, ev); err != nil {
+	if err := cl.Setup(context.Background(), x, ev); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := cl.Eval([][]int{{0}, {1}}, 1); err != nil {
+	if _, _, _, err := cl.Eval(context.Background(), [][]int{{0}, {1}}, 1); err != nil {
 		t.Fatalf("Eval before restart: %v", err)
 	}
 
@@ -348,7 +356,7 @@ func TestTCPWorkerRestartReconnect(t *testing.T) {
 	srv2 := restartServer(t, addr)
 	defer srv2.Stop()
 
-	ss, se, _, err := cl.Eval([][]int{{0}, {1}}, 1)
+	ss, se, _, err := cl.Eval(context.Background(), [][]int{{0}, {1}}, 1)
 	if err != nil {
 		t.Fatalf("Eval after restart: %v (reconnect + reload should recover)", err)
 	}
@@ -513,11 +521,11 @@ func TestClusterAllWorkersDead(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := matrix.CSRFromDense(matrix.NewDenseData(2, 1, []float64{1, 1}))
-	if err := cl.Setup(x, []float64{1, 1}); err != nil {
+	if err := cl.Setup(context.Background(), x, []float64{1, 1}); err != nil {
 		t.Fatal(err)
 	}
 	w0.dead = true
-	if _, _, _, err := cl.Eval([][]int{{0}}, 1); err == nil {
+	if _, _, _, err := cl.Eval(context.Background(), [][]int{{0}}, 1); err == nil {
 		t.Fatal("expected error when all workers are dead")
 	}
 }

@@ -1,11 +1,17 @@
 package dist
 
 import (
+	"bufio"
+	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"sliceline/internal/core"
 	"sliceline/internal/matrix"
@@ -36,6 +42,12 @@ type EvalArgs struct {
 type EvalReply struct {
 	SS, SE, SM []float64
 }
+
+// PingArgs is the (empty) request of the liveness probe.
+type PingArgs struct{}
+
+// PingReply is the (empty) response of the liveness probe.
+type PingReply struct{}
 
 // Service is the RPC service a worker process exposes. Register it with
 // net/rpc and serve on a TCP listener (see Serve and cmd/slworker). It
@@ -82,17 +94,25 @@ func (s *Service) Eval(args *EvalArgs, reply *EvalReply) error {
 	return nil
 }
 
-// Server serves worker RPCs on a listener and supports abrupt Stop,
-// modelling worker crashes for failover drills: Stop closes the listener
-// and every established connection, so in-flight and future calls from
-// drivers fail with transport errors. A restarted Server on the same
+// Ping implements the worker side of the liveness probe used by the
+// cluster's background health checker.
+func (s *Service) Ping(_ *PingArgs, _ *PingReply) error { return nil }
+
+// Server serves worker RPCs on a listener. It supports abrupt Stop —
+// modelling worker crashes for failover drills — and graceful Shutdown,
+// which stops accepting connections, waits for in-flight calls to complete,
+// and only then tears connections down, so a drained worker never leaves a
+// driver holding a torn half-written reply. A restarted Server on the same
 // address starts with an empty partition map, like a respawned process.
 type Server struct {
 	lis net.Listener
 	srv *rpc.Server
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
+	mu       sync.Mutex
+	idle     *sync.Cond // signalled when inflight drops to zero while draining
+	conns    map[net.Conn]struct{}
+	inflight int
+	draining bool
 }
 
 // NewServer wraps a listener in a worker RPC server; call Serve to run it.
@@ -101,12 +121,14 @@ func NewServer(lis net.Listener) (*Server, error) {
 	if err := srv.RegisterName("Worker", &Service{}); err != nil {
 		return nil, err
 	}
-	return &Server{lis: lis, srv: srv, conns: make(map[net.Conn]struct{})}, nil
+	s := &Server{lis: lis, srv: srv, conns: make(map[net.Conn]struct{})}
+	s.idle = sync.NewCond(&s.mu)
+	return s, nil
 }
 
 // Serve accepts and serves connections until the listener closes. Each
-// connection is served concurrently. It returns nil when Stop (or a direct
-// listener Close) ends the accept loop.
+// connection is served concurrently. It returns nil when Stop, Shutdown, or
+// a direct listener Close ends the accept loop.
 func (s *Server) Serve() error {
 	for {
 		conn, err := s.lis.Accept()
@@ -117,10 +139,16 @@ func (s *Server) Serve() error {
 			return err
 		}
 		s.mu.Lock()
+		if s.draining {
+			// Refuse connections that raced with shutdown.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		go func() {
-			s.srv.ServeConn(conn)
+			s.srv.ServeCodec(newCountingCodec(conn, s))
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
@@ -140,6 +168,111 @@ func (s *Server) Stop() {
 	}
 }
 
+// Shutdown drains the server gracefully: it closes the listener (refusing
+// new connections), waits for every in-flight call to finish writing its
+// reply, then closes the remaining connections. It returns the context's
+// error if the deadline expires with calls still in flight (those are then
+// cut, as Stop would).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.lis.Close()
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	go func() {
+		<-wctx.Done()
+		s.mu.Lock()
+		s.idle.Broadcast()
+		s.mu.Unlock()
+	}()
+	s.mu.Lock()
+	s.draining = true
+	for s.inflight > 0 && ctx.Err() == nil {
+		s.idle.Wait()
+	}
+	drained := s.inflight == 0
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	s.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	if !drained {
+		return ctx.Err()
+	}
+	return nil
+}
+
+func (s *Server) requestStarted() {
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+}
+
+func (s *Server) requestDone() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.draining {
+		s.idle.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// countingCodec is the standard gob server codec with in-flight request
+// accounting hooked in: a request counts from the moment its header is read
+// until its response has been flushed, which is exactly the window Shutdown
+// must wait out.
+type countingCodec struct {
+	rwc    io.ReadWriteCloser
+	dec    *gob.Decoder
+	enc    *gob.Encoder
+	encBuf *bufio.Writer
+	srv    *Server
+	closed bool
+}
+
+func newCountingCodec(conn io.ReadWriteCloser, srv *Server) *countingCodec {
+	buf := bufio.NewWriter(conn)
+	return &countingCodec{
+		rwc:    conn,
+		dec:    gob.NewDecoder(conn),
+		enc:    gob.NewEncoder(buf),
+		encBuf: buf,
+		srv:    srv,
+	}
+}
+
+func (c *countingCodec) ReadRequestHeader(r *rpc.Request) error {
+	if err := c.dec.Decode(r); err != nil {
+		return err
+	}
+	c.srv.requestStarted()
+	return nil
+}
+
+func (c *countingCodec) ReadRequestBody(body interface{}) error {
+	return c.dec.Decode(body)
+}
+
+func (c *countingCodec) WriteResponse(r *rpc.Response, body interface{}) error {
+	defer c.srv.requestDone()
+	if err := c.enc.Encode(r); err != nil {
+		return err
+	}
+	if err := c.enc.Encode(body); err != nil {
+		return err
+	}
+	return c.encBuf.Flush()
+}
+
+func (c *countingCodec) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.rwc.Close()
+}
+
 // Serve accepts worker connections on the listener until it is closed. Each
 // connection is served concurrently. It returns when the listener closes.
 func Serve(lis net.Listener) error {
@@ -150,51 +283,217 @@ func Serve(lis net.Listener) error {
 	return s.Serve()
 }
 
+// DialOptions bounds reconnection behavior of a RemoteWorker.
+type DialOptions struct {
+	// DialTimeout caps one TCP connection attempt. <= 0 defaults to 5s.
+	DialTimeout time.Duration
+	// MaxAttempts is the number of dial attempts per outage before the
+	// reconnect is abandoned. <= 0 defaults to 4.
+	MaxAttempts int
+	// BaseBackoff is the wait before the second attempt; it doubles per
+	// attempt with ±50% jitter. <= 0 defaults to 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the growing backoff. <= 0 defaults to 2s.
+	MaxBackoff time.Duration
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	return o
+}
+
 // RemoteWorker talks to a worker process over TCP with gob-encoded RPC. It
 // models the broadcast/serialization overheads of the paper's distributed
 // backend. When a call fails at the transport level (worker crashed,
-// connection dropped), the next call transparently redials the worker's
-// address once, so a worker restarted on the same address — with its
+// connection dropped), the next call transparently reconnects with bounded
+// exponential backoff, so a worker restarted on the same address — with its
 // partitions gone, but alive — rejoins the cluster instead of being lost
-// for the rest of the run.
+// for the rest of the run. Reconnection is single-flight: concurrent calls
+// failing on the same dead connection share one dial instead of racing to
+// replace (and close) each other's fresh clients.
 type RemoteWorker struct {
 	addr string
+	opts DialOptions
 
-	mu     sync.Mutex
-	client *rpc.Client
+	mu          sync.Mutex
+	cond        *sync.Cond  // guards the single-flight dial hand-off
+	client      *rpc.Client // nil while disconnected
+	gen         int         // increments per successful dial; identifies a connection
+	dialing     bool        // a dial is in flight; waiters block on cond
+	dialGen     int         // increments per finished dial attempt (success or failure)
+	lastDialErr error       // outcome of the most recent failed dial
+	closed      bool
 }
 
-// Dial connects to a worker at addr (host:port).
+// Dial connects to a worker at addr (host:port) with default options.
 func Dial(addr string) (*RemoteWorker, error) {
-	client, err := rpc.Dial("tcp", addr)
+	return DialOpts(addr, DialOptions{})
+}
+
+// DialOpts connects to a worker at addr with explicit reconnect options.
+// The initial connection is attempted eagerly so a bad address fails fast.
+func DialOpts(addr string, opts DialOptions) (*RemoteWorker, error) {
+	w := &RemoteWorker{addr: addr, opts: opts.withDefaults()}
+	w.cond = sync.NewCond(&w.mu)
+	client, err := w.dialOnce(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("dist: dialing %s: %w", addr, err)
 	}
-	return &RemoteWorker{addr: addr, client: client}, nil
+	w.client = client
+	w.gen = 1
+	return w, nil
 }
 
-// call performs one RPC, redialing once on transport-level failure.
-// Server-side application errors (rpc.ServerError) are returned as-is:
-// the connection is fine, the worker just rejected the request.
-func (w *RemoteWorker) call(method string, args, reply interface{}) error {
-	w.mu.Lock()
-	client := w.client
-	w.mu.Unlock()
-	err := client.Call(method, args, reply)
-	if err == nil || isServerError(err) {
-		return err
+func (w *RemoteWorker) dialOnce(ctx context.Context) (*rpc.Client, error) {
+	d := net.Dialer{Timeout: w.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", w.addr)
+	if err != nil {
+		return nil, err
 	}
-	// Transport failure: the worker may have restarted — redial once.
-	nc, derr := rpc.Dial("tcp", w.addr)
-	if derr != nil {
-		return err // still unreachable; report the original failure
+	return rpc.NewClient(conn), nil
+}
+
+// dialBackoff retries dialOnce with exponential backoff and jitter, bounded
+// by MaxAttempts and the context.
+func (w *RemoteWorker) dialBackoff(ctx context.Context) (*rpc.Client, error) {
+	backoff := w.opts.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < w.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			// Full jitter on the upper half de-synchronizes workers that all
+			// lost the same peer at the same moment.
+			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			select {
+			case <-time.After(sleep):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if backoff *= 2; backoff > w.opts.MaxBackoff {
+				backoff = w.opts.MaxBackoff
+			}
+		}
+		client, err := w.dialOnce(ctx)
+		if err == nil {
+			return client, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 	}
+	return nil, fmt.Errorf("dist: redialing %s after %d attempts: %w", w.addr, w.opts.MaxAttempts, lastErr)
+}
+
+// conn returns the live client, reconnecting (single-flight) when the
+// previous connection was invalidated. Callers that arrive while another
+// goroutine is dialing wait for that dial instead of starting their own; if
+// it fails they inherit its error, so one outage costs one dial sequence.
+func (w *RemoteWorker) conn(ctx context.Context) (*rpc.Client, int, error) {
 	w.mu.Lock()
-	old := w.client
-	w.client = nc
+	defer w.mu.Unlock()
+	for {
+		if w.closed {
+			return nil, 0, fmt.Errorf("dist: worker %s is closed", w.addr)
+		}
+		if w.client != nil {
+			return w.client, w.gen, nil
+		}
+		if w.dialing {
+			g := w.dialGen
+			w.cond.Wait()
+			if w.client == nil && w.dialGen != g && w.lastDialErr != nil {
+				return nil, 0, w.lastDialErr
+			}
+			continue
+		}
+		w.dialing = true
+		w.mu.Unlock()
+		client, err := w.dialBackoff(ctx)
+		w.mu.Lock()
+		w.dialing = false
+		w.dialGen++
+		switch {
+		case err != nil:
+			w.lastDialErr = err
+		case w.closed:
+			client.Close()
+			err = fmt.Errorf("dist: worker %s is closed", w.addr)
+		default:
+			w.client = client
+			w.gen++
+			w.lastDialErr = nil
+		}
+		w.cond.Broadcast()
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+}
+
+// invalidate retires a failed connection. The generation check makes it
+// idempotent under races: if another goroutine already replaced the client,
+// the fresh connection is left alone.
+func (w *RemoteWorker) invalidate(client *rpc.Client, gen int) {
+	w.mu.Lock()
+	if w.gen == gen && w.client == client {
+		w.client = nil
+	}
 	w.mu.Unlock()
-	old.Close()
-	return nc.Call(method, args, reply)
+	client.Close()
+}
+
+// call performs one RPC under the context's deadline, reconnecting once on
+// transport-level failure. Server-side application errors (rpc.ServerError)
+// are returned as-is: the connection is fine, the worker just rejected the
+// request. When the context expires mid-call the connection is poisoned —
+// its gob stream now carries an orphan reply — and the next call redials.
+func (w *RemoteWorker) call(ctx context.Context, method string, args, reply interface{}) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		client, gen, err := w.conn(ctx)
+		if err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
+		err = w.invoke(ctx, client, gen, method, args, reply)
+		if err == nil || isServerError(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		w.invalidate(client, gen)
+		lastErr = err
+	}
+	return lastErr
+}
+
+// invoke runs one RPC on a specific connection, aborting when the context
+// is done. net/rpc has no native deadline support, so an abandoned call's
+// connection cannot be reused — it is invalidated and the in-flight call
+// unblocks with ErrShutdown when the client closes.
+func (w *RemoteWorker) invoke(ctx context.Context, client *rpc.Client, gen int, method string, args, reply interface{}) error {
+	call := client.Go(method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		w.invalidate(client, gen)
+		return fmt.Errorf("dist: %s on %s: %w", method, w.addr, ctx.Err())
+	case done := <-call.Done:
+		return done.Error
+	}
 }
 
 func isServerError(err error) bool {
@@ -203,31 +502,43 @@ func isServerError(err error) bool {
 }
 
 // Load implements Worker.
-func (w *RemoteWorker) Load(part int, x *matrix.CSR, e []float64) error {
+func (w *RemoteWorker) Load(ctx context.Context, part int, x *matrix.CSR, e []float64) error {
 	rowPtr, colIdx, val := x.Components()
 	args := &LoadArgs{
 		Part: part,
 		Rows: x.Rows(), Cols: x.Cols(),
 		RowPtr: rowPtr, ColIdx: colIdx, Val: val, Err: e,
 	}
-	return w.call("Worker.Load", args, &LoadReply{})
+	return w.call(ctx, "Worker.Load", args, &LoadReply{})
 }
 
 // Eval implements Worker.
-func (w *RemoteWorker) Eval(part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error) {
+func (w *RemoteWorker) Eval(ctx context.Context, part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error) {
 	var reply EvalReply
-	err = w.call("Worker.Eval", &EvalArgs{Part: part, Cols: cols, Level: level, BlockSize: blockSize}, &reply)
+	err = w.call(ctx, "Worker.Eval", &EvalArgs{Part: part, Cols: cols, Level: level, BlockSize: blockSize}, &reply)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("dist: eval on %s: %w", w.addr, err)
 	}
 	return reply.SS, reply.SE, reply.SM, nil
 }
 
+// Ping implements Worker.
+func (w *RemoteWorker) Ping(ctx context.Context) error {
+	return w.call(ctx, "Worker.Ping", &PingArgs{}, &PingReply{})
+}
+
 // Close implements Worker.
 func (w *RemoteWorker) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.client.Close()
+	w.closed = true
+	client := w.client
+	w.client = nil
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	if client != nil {
+		return client.Close()
+	}
+	return nil
 }
 
 var _ Worker = (*RemoteWorker)(nil)

@@ -1,0 +1,209 @@
+package dist
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sliceline/internal/matrix"
+)
+
+// countingListener counts accepted connections — the observable cost of
+// redials.
+type countingListener struct {
+	net.Listener
+	accepted atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepted.Add(1)
+	}
+	return c, err
+}
+
+// TestRemoteWorkerSingleFlightRedial: when many concurrent calls hit the
+// same dead connection, exactly one of them dials — the rest share the
+// fresh connection instead of racing to replace each other's.
+func TestRemoteWorkerSingleFlightRedial(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(lis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve() //nolint:errcheck // lifetime bound to Stop
+	addr := lis.Addr().String()
+
+	w, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the worker and restart it behind an accept counter.
+	srv.Stop()
+	var lis2 net.Listener
+	for i := 0; i < 100; i++ {
+		lis2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	counter := &countingListener{Listener: lis2}
+	srv2, err := NewServer(counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve() //nolint:errcheck // lifetime bound to Stop
+	defer srv2.Stop()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Ping(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := counter.accepted.Load(); got != 1 {
+		t.Fatalf("%d connections dialed for one outage, want 1 (single-flight)", got)
+	}
+}
+
+// TestRemoteWorkerBoundedRetry: a permanently dead worker fails calls after
+// the configured attempts instead of retrying forever.
+func TestRemoteWorkerBoundedRetry(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(lis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve() //nolint:errcheck // lifetime bound to Stop
+	w, err := DialOpts(lis.Addr().String(), DialOptions{
+		MaxAttempts: 2,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	srv.Stop() // never comes back
+	start := time.Now()
+	if err := w.Ping(context.Background()); err == nil {
+		t.Fatal("expected error pinging a permanently dead worker")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("bounded retry took %v; backoff is not bounded", elapsed)
+	}
+}
+
+// TestRemoteWorkerCallDeadline: a call whose context expires returns
+// promptly and the next call transparently recovers on a fresh connection.
+func TestRemoteWorkerCallDeadline(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(lis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve() //nolint:errcheck // lifetime bound to Stop
+	defer srv.Stop()
+	w, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// An already-expired context: the call must not block.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := w.Ping(ctx); err == nil {
+		t.Fatal("expected error from expired context")
+	}
+	// The poisoned connection is replaced on the next call.
+	if err := w.Ping(context.Background()); err != nil {
+		t.Fatalf("recovery ping: %v", err)
+	}
+}
+
+// TestServerShutdownGraceful: Shutdown refuses new connections, lets
+// in-flight calls finish, and returns nil once drained.
+func TestServerShutdownGraceful(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(lis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve() //nolint:errcheck // lifetime bound to Shutdown
+	addr := lis.Addr().String()
+
+	w, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// A sizeable partition so the concurrent Eval plausibly overlaps the
+	// drain; the test passes either way, it only requires that an accepted
+	// call is never cut off.
+	n := 50000
+	data := make([]float64, 2*n)
+	e := make([]float64, n)
+	for i := 0; i < n; i++ {
+		data[2*i+i%2] = 1
+		e[i] = 1
+	}
+	x := matrix.CSRFromDense(matrix.NewDenseData(n, 2, data))
+	if err := w.Load(context.Background(), 0, x, e); err != nil {
+		t.Fatal(err)
+	}
+
+	evalErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := w.Eval(context.Background(), 0, [][]int{{0}, {1}, {0, 1}}, 2, 0)
+		evalErr <- err
+	}()
+	time.Sleep(2 * time.Millisecond) // let the call reach the server
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-evalErr; err != nil {
+		t.Fatalf("in-flight Eval was cut off by graceful shutdown: %v", err)
+	}
+	// New connections must be refused now.
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("expected dial failure after shutdown")
+	}
+}
