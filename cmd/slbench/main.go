@@ -17,14 +17,16 @@ import (
 	"strings"
 
 	"sliceline/internal/bench"
+	"sliceline/internal/obs"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id to run, or 'all'")
-		full = flag.Bool("full", false, "run at full (DESIGN.md) scales instead of quick scales")
-		seed = flag.Int64("seed", 1, "dataset generation seed")
-		list = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
+		full    = flag.Bool("full", false, "run at full (DESIGN.md) scales instead of quick scales")
+		seed    = flag.Int64("seed", 1, "dataset generation seed")
+		list    = flag.Bool("list", false, "list available experiments")
+		spanOut = flag.String("span-out", "", "write a JSON span dump (per-level timing breakdowns per experiment) to this file")
 	)
 	flag.Parse()
 
@@ -41,11 +43,17 @@ func main() {
 	}
 
 	opt := bench.Options{Quick: !*full, Seed: *seed}
+	var tracer *obs.JSONTracer
+	if *spanOut != "" {
+		tracer = obs.NewJSONTracer()
+		opt.Tracer = tracer
+	}
 	if strings.EqualFold(*exp, "all") {
 		if err := bench.RunAll(os.Stdout, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "slbench:", err)
 			os.Exit(1)
 		}
+		dumpSpans(*spanOut, tracer)
 		return
 	}
 	e, ok := bench.Lookup(*exp)
@@ -54,7 +62,25 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("=== %s — %s (%s) ===\n", e.ID, e.Title, e.Paper)
-	if err := e.Run(os.Stdout, opt); err != nil {
+	if err := bench.RunOne(os.Stdout, e, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "slbench:", err)
+		os.Exit(1)
+	}
+	dumpSpans(*spanOut, tracer)
+}
+
+// dumpSpans writes the collected span dump; a nil tracer writes nothing.
+func dumpSpans(path string, tr *obs.JSONTracer) {
+	if tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slbench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
 		fmt.Fprintln(os.Stderr, "slbench:", err)
 		os.Exit(1)
 	}

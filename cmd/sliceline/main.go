@@ -29,6 +29,7 @@ import (
 	"sliceline/internal/dist"
 	"sliceline/internal/frame"
 	"sliceline/internal/ml"
+	"sliceline/internal/obs"
 )
 
 func main() {
@@ -57,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		checkpoint  = fs.String("checkpoint", "", "persist enumeration state to this file after every level")
 		resume      = fs.Bool("resume", false, "resume from -checkpoint (missing file starts fresh)")
+		tracePath   = fs.String("trace", "", "write a JSON span dump of the run (levels, evaluations, RPCs) to this file")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address while the run executes")
 		callTimeout = fs.Duration("call-timeout", 0, "per-RPC deadline for distributed workers (0 = none)")
 		hedgeAfter  = fs.Duration("hedge-after", 0, "speculatively re-execute a partition stuck longer than this (0 = off)")
 		hedgeMult   = fs.Float64("hedge-mult", 0, "adaptive hedging: straggler threshold as a multiple of the level median (0 = off)")
@@ -86,12 +89,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 				ls.Level, ls.Candidates, ls.Valid, ls.Pruned, ls.Elapsed.Round(1e6))
 		}
 	}
+	var tracer *obs.JSONTracer
+	if *tracePath != "" {
+		tracer = obs.NewJSONTracer()
+		cfg.Tracer = tracer
+		// Dump whatever was traced even when the run fails partway: a trace
+		// of a failed run is exactly when one wants to look at it.
+		defer func() {
+			if err := writeTrace(*tracePath, tracer); err != nil {
+				fmt.Fprintln(stderr, "sliceline:", err)
+			}
+		}()
+	}
+	if *metricsAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		srv, addr, err := obs.Serve(*metricsAddr, cfg.Metrics)
+		if err != nil {
+			fmt.Fprintln(stderr, "sliceline:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "sliceline: serving metrics and pprof on http://%s/\n", addr)
+	}
 	if *workers != "" {
 		cluster, err := dialCluster(strings.Split(*workers, ","), dist.Options{
 			CallTimeout:       *callTimeout,
 			HedgeDelay:        *hedgeAfter,
 			HedgeMultiplier:   *hedgeMult,
 			HeartbeatInterval: *heartbeat,
+			Tracer:            cfg.Tracer,
+			Metrics:           cfg.Metrics,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "sliceline:", err)
@@ -129,6 +156,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "#%d %s\n", i+1, s)
 	}
 	return 0
+}
+
+func writeTrace(path string, tr *obs.JSONTracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadInput(dataset, csvPath, label, task string, bins, rows int, seed int64) (*frame.Dataset, []float64, error) {

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"sliceline/internal/core"
 	"sliceline/internal/dist"
 )
 
@@ -185,5 +187,60 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	if code, _ := runCLI(t); code != 1 {
 		t.Errorf("no dataset exited %d, want 1", code)
+	}
+}
+
+// TestRunTraceAndMetrics: -trace writes a span dump covering every lattice
+// level, -metrics-addr serves Prometheus text with the core metric families,
+// and -json emits the versioned result schema — the CLI observability surface
+// end to end.
+func TestRunTraceAndMetrics(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var outBuf, errBuf strings.Builder
+	code := run([]string{"-dataset", "salaries", "-k", "3",
+		"-trace", tracePath, "-metrics-addr", "127.0.0.1:0", "-json"}, &outBuf, &errBuf)
+	if code != 0 {
+		t.Fatalf("run exited %d, stderr: %s", code, errBuf.String())
+	}
+	out := outBuf.String()
+
+	var res core.Result
+	jsonStart := strings.Index(out, "{")
+	if jsonStart < 0 {
+		t.Fatalf("no JSON object in output:\n%s", out)
+	}
+	if err := json.Unmarshal([]byte(out[jsonStart:]), &res); err != nil {
+		t.Fatalf("result JSON does not round-trip: %v", err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace dump not written: %v", err)
+	}
+	var doc struct {
+		SchemaVersion int `json:"schema_version"`
+		Spans         []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace dump is not a JSON span document: %v", err)
+	}
+	if doc.SchemaVersion != 1 {
+		t.Errorf("trace schema_version = %d, want 1", doc.SchemaVersion)
+	}
+	names := make(map[string]int)
+	for _, sp := range doc.Spans {
+		names[sp.Name]++
+	}
+	if names["core.run"] != 1 {
+		t.Errorf("got %d core.run spans, want 1 (names: %v)", names["core.run"], names)
+	}
+	if names["core.level"] != len(res.Levels) {
+		t.Errorf("got %d core.level spans for %d levels", names["core.level"], len(res.Levels))
+	}
+
+	if !strings.Contains(errBuf.String(), "serving metrics and pprof on http://") {
+		t.Errorf("metrics server address not announced:\n%s", errBuf.String())
 	}
 }

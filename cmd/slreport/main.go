@@ -6,14 +6,18 @@
 //
 //	slreport -dataset adult -k 5 > report.md
 //	slreport -csv data.csv -label y -task reg -tree=false
+//	slreport -result out.json > report.md   # from `sliceline -json out.json`
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"sliceline/internal/core"
 	"sliceline/internal/datagen"
 	"sliceline/internal/frame"
 	"sliceline/internal/ml"
@@ -33,8 +37,17 @@ func main() {
 		maxLevel = flag.Int("maxlevel", 3, "maximum lattice level")
 		tree     = flag.Bool("tree", true, "include the decision-tree partition section")
 		seed     = flag.Int64("seed", 1, "synthetic dataset seed")
+		result   = flag.String("result", "", "render from a stored `sliceline -json` result file instead of re-running")
 	)
 	flag.Parse()
+
+	if *result != "" {
+		if err := fromResult(*result, *k, *maxLevel); err != nil {
+			fmt.Fprintln(os.Stderr, "slreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ds, errVec, err := load(*dataset, *csvPath, *label, *task, *bins, *rows, *seed)
 	if err != nil {
@@ -46,6 +59,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "slreport:", err)
 		os.Exit(1)
 	}
+}
+
+// fromResult renders a report from the versioned JSON document written by
+// `sliceline -json`. The schema version is enforced by core.Result's
+// UnmarshalJSON, so a document from an incompatible build fails loudly here
+// rather than rendering garbage.
+func fromResult(path string, k, maxLevel int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var res core.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	opt := report.Options{K: k, MaxLevel: maxLevel}
+	return report.GenerateFromResult(os.Stdout, name, &res, opt)
 }
 
 func load(dataset, csvPath, label, task string, bins, rows int, seed int64) (*frame.Dataset, []float64, error) {

@@ -25,11 +25,13 @@ import (
 	"time"
 
 	"sliceline/internal/dist"
+	"sliceline/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":7071", "listen address (host:port)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight calls on SIGTERM/SIGINT")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
 	lis, err := net.Listen("tcp", *addr)
@@ -37,7 +39,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "slworker:", err)
 		os.Exit(1)
 	}
-	srv, err := dist.NewServer(lis)
+	var opts dist.ServerOptions
+	if *metricsAddr != "" {
+		opts.Metrics = obs.NewRegistry()
+		msrv, maddr, err := obs.Serve(*metricsAddr, opts.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slworker:", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("slworker: serving metrics and pprof on http://%s/\n", maddr)
+	}
+	srv, err := dist.NewServerOpts(lis, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "slworker:", err)
 		os.Exit(1)

@@ -11,12 +11,20 @@ import (
 	"sort"
 	"text/tabwriter"
 	"time"
+
+	"sliceline/internal/core"
+	"sliceline/internal/obs"
 )
 
 // Options controls experiment execution.
 type Options struct {
 	Quick bool  // reduced dataset scales and sweeps
 	Seed  int64 // dataset generation seed (0 = 1)
+
+	// Tracer, when non-nil, receives spans from every enumeration an
+	// experiment runs, so a harness invocation can dump per-level timing
+	// breakdowns next to the printed tables (slbench -span-out).
+	Tracer obs.Tracer
 }
 
 func (o Options) seed() int64 {
@@ -24,6 +32,12 @@ func (o Options) seed() int64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// config stamps the harness observability onto one experiment run's Config.
+func (o Options) config(c core.Config) core.Config {
+	c.Tracer = o.Tracer
+	return c
 }
 
 // Experiment is one reproducible paper artifact.
@@ -65,15 +79,28 @@ func IDs() []string {
 	return out
 }
 
-// RunAll executes every experiment, writing a header per experiment.
+// RunAll executes every experiment, writing a header per experiment. With
+// opt.Tracer set, each experiment additionally gets a bench.<id> root span so
+// the span dump groups enumerations by experiment.
 func RunAll(w io.Writer, opt Options) error {
 	for _, e := range registry {
 		fmt.Fprintf(w, "\n=== %s — %s (%s) ===\n", e.ID, e.Title, e.Paper)
 		start := time.Now()
-		if err := e.Run(w, opt); err != nil {
-			return fmt.Errorf("bench: experiment %s: %w", e.ID, err)
+		if err := RunOne(w, e, opt); err != nil {
+			return err
 		}
 		fmt.Fprintf(w, "[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// RunOne executes a single experiment under a bench.<id> span.
+func RunOne(w io.Writer, e Experiment, opt Options) error {
+	sp := obs.Start(opt.Tracer, "bench."+e.ID)
+	err := e.Run(w, opt)
+	sp.End()
+	if err != nil {
+		return fmt.Errorf("bench: experiment %s: %w", e.ID, err)
 	}
 	return nil
 }

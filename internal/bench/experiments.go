@@ -99,7 +99,7 @@ func runFig3a(w io.Writer, opt Options) error {
 	for _, c := range ablationConfigs() {
 		cfg := c.cfg
 		cfg.Sigma = sigma
-		res, err := core.Run(g.DS, g.Err, cfg)
+		res, err := core.Run(g.DS, g.Err, opt.config(cfg))
 		if err != nil {
 			return err
 		}
@@ -130,7 +130,7 @@ func runFig3b(w io.Writer, opt Options) error {
 		cfg := c.cfg
 		cfg.Sigma = sigma
 		start := time.Now()
-		res, err := core.Run(g.DS, g.Err, cfg)
+		res, err := core.Run(g.DS, g.Err, opt.config(cfg))
 		if err != nil {
 			return err
 		}
@@ -154,7 +154,7 @@ func printLevels(w io.Writer, name string, res *core.Result) error {
 // runFig4a: Adult slice enumeration with unbounded level.
 func runFig4a(w io.Writer, opt Options) error {
 	g := adultGen(opt)
-	res, err := core.Run(g.DS, g.Err, core.Config{Alpha: 0.95})
+	res, err := core.Run(g.DS, g.Err, opt.config(core.Config{Alpha: 0.95}))
 	if err != nil {
 		return err
 	}
@@ -179,7 +179,7 @@ func runFig4b(w io.Writer, opt Options) error {
 		{datagen.Covtype(sc.covtype, opt.seed()), covL},
 	}
 	for _, r := range runs {
-		res, err := core.Run(r.g.DS, r.g.Err, core.Config{Alpha: 0.95, MaxLevel: r.cap})
+		res, err := core.Run(r.g.DS, r.g.Err, opt.config(core.Config{Alpha: 0.95, MaxLevel: r.cap}))
 		if err != nil {
 			return err
 		}
@@ -215,9 +215,9 @@ func runFig5(w io.Writer, opt Options) error {
 		scoreRow := fmt.Sprintf("%s score", g.DS.Name)
 		sizeRow := fmt.Sprintf("%s size", g.DS.Name)
 		for _, a := range alphas {
-			res, err := core.RunEncoded(enc, g.DS.Features, g.Err, core.Config{
+			res, err := core.RunEncoded(enc, g.DS.Features, g.Err, opt.config(core.Config{
 				K: 10, Alpha: a, MaxLevel: 3,
-			})
+			}))
 			if err != nil {
 				return err
 			}
@@ -259,9 +259,9 @@ func runSigma(w io.Writer, opt Options) error {
 				sigma = 1
 			}
 			start := time.Now()
-			res, err := core.RunEncoded(enc, g.DS.Features, g.Err, core.Config{
+			res, err := core.RunEncoded(enc, g.DS.Features, g.Err, opt.config(core.Config{
 				K: 10, Alpha: 0.95, Sigma: sigma, MaxLevel: 3,
-			})
+			}))
 			if err != nil {
 				return err
 			}
@@ -295,7 +295,7 @@ func runFig6a(w io.Writer, opt Options) error {
 	fmt.Fprintln(tw, "dataset\tn\tl\tlevels\telapsed\ttop-1 score\tevaluated")
 	for _, r := range runs {
 		start := time.Now()
-		res, err := core.Run(r.g.DS, r.g.Err, core.Config{Alpha: 0.95, MaxLevel: r.cap})
+		res, err := core.Run(r.g.DS, r.g.Err, opt.config(core.Config{Alpha: 0.95, MaxLevel: r.cap}))
 		if err != nil {
 			return err
 		}
@@ -331,9 +331,9 @@ func runFig6b(w io.Writer, opt Options) error {
 		fmt.Fprint(tw, g.DS.Name)
 		for _, b := range append(blocks, 0) {
 			start := time.Now()
-			if _, err := core.RunEncoded(enc, g.DS.Features, g.Err, core.Config{
+			if _, err := core.RunEncoded(enc, g.DS.Features, g.Err, opt.config(core.Config{
 				Alpha: 0.95, MaxLevel: 3, BlockSize: b,
-			}); err != nil {
+			})); err != nil {
 				return err
 			}
 			fmt.Fprintf(tw, "\t%s", fmtDur(time.Since(start)))
@@ -360,7 +360,7 @@ func runFig7a(w io.Writer, opt Options) error {
 	for _, f := range factors {
 		g := base.ReplicateRows(f)
 		start := time.Now()
-		res, err := core.Run(g.DS, g.Err, core.Config{Alpha: 0.95, MaxLevel: 3})
+		res, err := core.Run(g.DS, g.Err, opt.config(core.Config{Alpha: 0.95, MaxLevel: 3}))
 		if err != nil {
 			return err
 		}
@@ -400,7 +400,7 @@ func runFig7b(w io.Writer, opt Options) error {
 		c := cfg
 		c.Evaluator = ev
 		start := time.Now()
-		res, err := core.RunEncoded(enc, g.DS.Features, g.Err, c)
+		res, err := core.RunEncoded(enc, g.DS.Features, g.Err, opt.config(c))
 		if err != nil {
 			return err
 		}
@@ -480,7 +480,7 @@ func localTCPCluster(n, blockSize int) (*dist.Cluster, func(), error) {
 // runTable2: Criteo enumeration statistics through lattice level 6.
 func runTable2(w io.Writer, opt Options) error {
 	g := datagen.Criteo(scaleFor(opt).criteo, opt.seed())
-	res, err := core.Run(g.DS, g.Err, core.Config{Alpha: 0.95, MaxLevel: 6})
+	res, err := core.Run(g.DS, g.Err, opt.config(core.Config{Alpha: 0.95, MaxLevel: 6}))
 	if err != nil {
 		return err
 	}
@@ -518,7 +518,7 @@ func runMLSys(w io.Writer, opt Options) error {
 	fmt.Fprintln(tw, "system\telapsed\ttop result")
 
 	start := time.Now()
-	res, err := core.RunEncoded(enc, g.DS.Features, g.Err, core.Config{Alpha: 0.95, MaxLevel: 3})
+	res, err := core.RunEncoded(enc, g.DS.Features, g.Err, opt.config(core.Config{Alpha: 0.95, MaxLevel: 3}))
 	if err != nil {
 		return err
 	}
@@ -530,7 +530,7 @@ func runMLSys(w io.Writer, opt Options) error {
 	fmt.Fprintf(tw, "SliceLine (fused sparse)\t%s\t%s\n", fmtDur(fused), top)
 
 	start = time.Now()
-	resD, err := core.RunEncoded(enc, g.DS.Features, g.Err, core.Config{Alpha: 0.95, MaxLevel: 3, DenseEval: true})
+	resD, err := core.RunEncoded(enc, g.DS.Features, g.Err, opt.config(core.Config{Alpha: 0.95, MaxLevel: 3, DenseEval: true}))
 	if err != nil {
 		return err
 	}

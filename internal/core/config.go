@@ -9,6 +9,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"sliceline/internal/obs"
 )
 
 // Default parameter values from the paper (Algorithm 1 header and §5.2).
@@ -89,6 +91,18 @@ type Config struct {
 	// different data or an incompatible configuration is refused with an
 	// error rather than silently producing garbage.
 	Resume bool
+
+	// Tracer, when non-nil, receives spans for the run, every lattice level,
+	// every candidate-evaluation call and every checkpoint operation. The
+	// run span is also placed into the context handed to external
+	// evaluators, so distributed backends parent their per-RPC spans under
+	// the enumeration that issued them. Nil disables tracing at zero cost.
+	Tracer obs.Tracer
+
+	// Metrics, when non-nil, receives enumeration counters, the live top-K
+	// threshold gauge, and per-level / per-eval latency histograms
+	// (sl_core_* families). Nil disables metrics at zero cost.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults(n int) Config {

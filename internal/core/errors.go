@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Typed sentinel errors for input validation. Every validation failure of
+// Run/RunWeighted/RunEncoded wraps one of these, so callers can branch with
+// errors.Is instead of matching message strings:
+//
+//	_, err := sliceline.Run(ds, e, cfg)
+//	if errors.Is(err, core.ErrBadErrorVector) { ... }
+var (
+	// ErrBadAlpha marks a Config.Alpha that is NaN or infinite. (Alpha <= 0
+	// selects the default and Alpha > 1 is clamped to 1, both long-standing
+	// behaviors that remain accepted.)
+	ErrBadAlpha = errors.New("invalid Alpha")
+	// ErrEmptyDataset marks a dataset with zero rows.
+	ErrEmptyDataset = errors.New("empty dataset")
+	// ErrNoFeatures marks a dataset whose feature descriptors do not match
+	// its encoding (including the zero-feature case).
+	ErrNoFeatures = errors.New("no usable features")
+	// ErrBadErrorVector marks an error vector with the wrong length or a
+	// negative entry.
+	ErrBadErrorVector = errors.New("invalid error vector")
+	// ErrBadWeight marks a weight vector with the wrong length or a
+	// non-positive entry.
+	ErrBadWeight = errors.New("invalid weight vector")
+	// ErrWeightedEvaluator marks the unsupported combination of row weights
+	// with an external evaluator.
+	ErrWeightedEvaluator = errors.New("external evaluators do not support row weights")
+)
+
+// Validate checks the statically checkable configuration fields, returning an
+// error wrapping one of the sentinel errors above, or nil. Zero values are
+// always valid (they select defaults), so Validate accepts Config{}.
+// Run and its variants call Validate before touching the data; callers
+// building configurations programmatically can call it earlier for a
+// fail-fast check.
+func (c Config) Validate() error {
+	if math.IsNaN(c.Alpha) || math.IsInf(c.Alpha, 0) {
+		return fmt.Errorf("core: Alpha = %v: %w", c.Alpha, ErrBadAlpha)
+	}
+	return nil
+}

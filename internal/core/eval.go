@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"sliceline/internal/matrix"
+	"sliceline/internal/obs"
 )
 
 // ExternalEvaluator evaluates slice candidates against the (reduced) one-hot
@@ -40,13 +42,23 @@ func (st *state) evalSlices(ctx context.Context, lv *level, L int) error {
 	if nSlices == 0 {
 		return nil
 	}
+	// The eval span parents under whatever span the context carries (the
+	// level span during enumeration). Nil in, nil out: with tracing off this
+	// whole block is a handful of nil checks and never allocates.
+	sp := obs.FromContext(ctx).Child("core.eval")
+	sp.SetInt("level", int64(L))
+	sp.SetInt("candidates", int64(nSlices))
+	evalStart := time.Now()
 	switch {
 	case st.eval != nil:
-		ss, se, sm, err := st.eval.Eval(ctx, lv.cols, L)
+		sp.SetStr("backend", "external")
+		ss, se, sm, err := st.eval.Eval(obs.ContextWith(ctx, sp), lv.cols, L)
 		if err != nil {
+			sp.End()
 			return err
 		}
 		if len(ss) != nSlices || len(se) != nSlices || len(sm) != nSlices {
+			sp.End()
 			return fmt.Errorf("core: evaluator returned %d/%d/%d statistics for %d candidates",
 				len(ss), len(se), len(sm), nSlices)
 		}
@@ -54,10 +66,14 @@ func (st *state) evalSlices(ctx context.Context, lv *level, L int) error {
 		copy(lv.se, se)
 		copy(lv.sm, sm)
 	case st.cfg.DenseEval:
+		sp.SetStr("backend", "dense")
 		st.evalDense(lv, L)
 	default:
+		sp.SetStr("backend", "fused")
 		EvalPartitionWeighted(st.x, st.e, st.w, lv.cols, L, st.cfg.BlockSize, lv.ss, lv.se, lv.sm)
 	}
+	st.ob.evalSecs.Observe(time.Since(evalStart).Seconds())
+	sp.End()
 	for i := 0; i < nSlices; i++ {
 		lv.sc[i] = st.sc.score(lv.ss[i], lv.se[i])
 	}

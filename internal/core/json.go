@@ -1,0 +1,203 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// ResultSchemaVersion identifies the JSON layout written by Result.
+// MarshalJSON. UnmarshalJSON refuses documents written with a different
+// version instead of silently misreading them.
+const ResultSchemaVersion = 1
+
+// The json* shadow structs pin the interchange layout: explicit snake_case
+// field names and integer-nanosecond durations, independent of how the Go
+// structs evolve. They are what `sliceline -json` emits and what
+// `slreport -result` consumes.
+
+type jsonPredicate struct {
+	Feature int    `json:"feature"`
+	Name    string `json:"name"`
+	Value   int    `json:"value"`
+	Label   string `json:"label,omitempty"`
+}
+
+type jsonSlice struct {
+	Predicates []jsonPredicate `json:"predicates"`
+	Score      float64         `json:"score"`
+	Size       int             `json:"size"`
+	TotalError float64         `json:"total_error"`
+	MaxError   float64         `json:"max_error"`
+	AvgError   float64         `json:"avg_error"`
+}
+
+type jsonLevelStats struct {
+	Level      int   `json:"level"`
+	Candidates int   `json:"candidates"`
+	Valid      int   `json:"valid"`
+	Pruned     int   `json:"pruned"`
+	ElapsedNS  int64 `json:"elapsed_ns"`
+}
+
+type jsonResult struct {
+	SchemaVersion int              `json:"schema_version"`
+	TopK          []jsonSlice      `json:"top_k"`
+	Levels        []jsonLevelStats `json:"levels"`
+	N             int              `json:"n"`
+	AvgError      float64          `json:"avg_error"`
+	Sigma         int              `json:"sigma"`
+	Alpha         float64          `json:"alpha"`
+	ElapsedNS     int64            `json:"elapsed_ns"`
+	Truncated     bool             `json:"truncated,omitempty"`
+}
+
+// MarshalJSON implements the stable interchange form of a predicate.
+func (p Predicate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonPredicate(p))
+}
+
+// UnmarshalJSON implements the stable interchange form of a predicate.
+func (p *Predicate) UnmarshalJSON(data []byte) error {
+	var jp jsonPredicate
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return err
+	}
+	*p = Predicate(jp)
+	return nil
+}
+
+// MarshalJSON implements the stable interchange form of a slice.
+func (s Slice) MarshalJSON() ([]byte, error) {
+	js := jsonSlice{
+		Predicates: make([]jsonPredicate, len(s.Predicates)),
+		Score:      s.Score,
+		Size:       s.Size,
+		TotalError: s.TotalError,
+		MaxError:   s.MaxError,
+		AvgError:   s.AvgError,
+	}
+	for i, p := range s.Predicates {
+		js.Predicates[i] = jsonPredicate(p)
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON implements the stable interchange form of a slice.
+func (s *Slice) UnmarshalJSON(data []byte) error {
+	var js jsonSlice
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	*s = Slice{
+		Score:      js.Score,
+		Size:       js.Size,
+		TotalError: js.TotalError,
+		MaxError:   js.MaxError,
+		AvgError:   js.AvgError,
+	}
+	if len(js.Predicates) > 0 {
+		s.Predicates = make([]Predicate, len(js.Predicates))
+		for i, p := range js.Predicates {
+			s.Predicates[i] = Predicate(p)
+		}
+	}
+	return nil
+}
+
+// MarshalJSON implements the stable interchange form of level statistics.
+func (l LevelStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonLevelStats{
+		Level:      l.Level,
+		Candidates: l.Candidates,
+		Valid:      l.Valid,
+		Pruned:     l.Pruned,
+		ElapsedNS:  l.Elapsed.Nanoseconds(),
+	})
+}
+
+// UnmarshalJSON implements the stable interchange form of level statistics.
+func (l *LevelStats) UnmarshalJSON(data []byte) error {
+	var jl jsonLevelStats
+	if err := json.Unmarshal(data, &jl); err != nil {
+		return err
+	}
+	*l = LevelStats{
+		Level:      jl.Level,
+		Candidates: jl.Candidates,
+		Valid:      jl.Valid,
+		Pruned:     jl.Pruned,
+		Elapsed:    time.Duration(jl.ElapsedNS),
+	}
+	return nil
+}
+
+// MarshalJSON renders the result in its versioned interchange form.
+func (r Result) MarshalJSON() ([]byte, error) {
+	jr := jsonResult{
+		SchemaVersion: ResultSchemaVersion,
+		TopK:          make([]jsonSlice, 0, len(r.TopK)),
+		Levels:        make([]jsonLevelStats, 0, len(r.Levels)),
+		N:             r.N,
+		AvgError:      r.AvgError,
+		Sigma:         r.Sigma,
+		Alpha:         r.Alpha,
+		ElapsedNS:     r.Elapsed.Nanoseconds(),
+		Truncated:     r.Truncated,
+	}
+	for _, s := range r.TopK {
+		preds := make([]jsonPredicate, len(s.Predicates))
+		for i, p := range s.Predicates {
+			preds[i] = jsonPredicate(p)
+		}
+		jr.TopK = append(jr.TopK, jsonSlice{
+			Predicates: preds, Score: s.Score, Size: s.Size,
+			TotalError: s.TotalError, MaxError: s.MaxError, AvgError: s.AvgError,
+		})
+	}
+	for _, l := range r.Levels {
+		jr.Levels = append(jr.Levels, jsonLevelStats{
+			Level: l.Level, Candidates: l.Candidates, Valid: l.Valid,
+			Pruned: l.Pruned, ElapsedNS: l.Elapsed.Nanoseconds(),
+		})
+	}
+	return json.Marshal(jr)
+}
+
+// UnmarshalJSON parses the versioned interchange form, rejecting unknown
+// schema versions.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var jr jsonResult
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return err
+	}
+	if jr.SchemaVersion != ResultSchemaVersion {
+		return fmt.Errorf("core: result JSON has schema_version %d, this build reads %d", jr.SchemaVersion, ResultSchemaVersion)
+	}
+	out := Result{
+		N:         jr.N,
+		AvgError:  jr.AvgError,
+		Sigma:     jr.Sigma,
+		Alpha:     jr.Alpha,
+		Elapsed:   time.Duration(jr.ElapsedNS),
+		Truncated: jr.Truncated,
+	}
+	for _, js := range jr.TopK {
+		s := Slice{
+			Score: js.Score, Size: js.Size,
+			TotalError: js.TotalError, MaxError: js.MaxError, AvgError: js.AvgError,
+		}
+		for _, p := range js.Predicates {
+			s.Predicates = append(s.Predicates, Predicate(p))
+		}
+		out.TopK = append(out.TopK, s)
+	}
+	for _, jl := range jr.Levels {
+		out.Levels = append(out.Levels, LevelStats{
+			Level: jl.Level, Candidates: jl.Candidates, Valid: jl.Valid,
+			Pruned: jl.Pruned, Elapsed: time.Duration(jl.ElapsedNS),
+		})
+	}
+	*r = out
+	return nil
+}

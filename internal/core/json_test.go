@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		TopK: []Slice{
+			{
+				Predicates: []Predicate{
+					{Feature: 0, Name: "degree", Value: 2, Label: "PhD"},
+					{Feature: 3, Name: "gender", Value: 1},
+				},
+				Score: 0.875, Size: 120, TotalError: 36.5, MaxError: 1, AvgError: 0.3042,
+			},
+			{Score: -0.25, Size: 48, TotalError: 3, MaxError: 0.5, AvgError: 0.0625},
+		},
+		Levels: []LevelStats{
+			{Level: 1, Candidates: 40, Valid: 31, Elapsed: 12 * time.Millisecond},
+			{Level: 2, Candidates: 210, Valid: 87, Pruned: 355, Elapsed: 47 * time.Millisecond},
+		},
+		N: 5000, AvgError: 0.21, Sigma: 50, Alpha: 0.95,
+		Elapsed: 61 * time.Millisecond, Truncated: true,
+	}
+}
+
+// TestResultJSONSchema pins the interchange layout: versioned, snake_case,
+// durations in integer nanoseconds.
+func TestResultJSONSchema(t *testing.T) {
+	data, err := json.Marshal(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"schema_version":1`,
+		`"top_k":[`,
+		`"predicates":[`,
+		`"total_error":36.5`,
+		`"max_error":1`,
+		`"avg_error":`,
+		`"label":"PhD"`,
+		`"elapsed_ns":61000000`,
+		`"truncated":true`,
+		`"levels":[`,
+		`"pruned":355`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("result JSON missing %s:\n%s", want, s)
+		}
+	}
+	// The second predicate has no label; omitempty must drop the key there.
+	if strings.Count(s, `"label"`) != 1 {
+		t.Fatalf("label must be omitted when empty:\n%s", s)
+	}
+}
+
+// TestResultJSONStableRoundTrip: Marshal → Unmarshal reproduces every field
+// exactly, including durations and nested predicates.
+func TestResultJSONStableRoundTrip(t *testing.T) {
+	res := sampleResult()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != res.N || back.Sigma != res.Sigma || back.Alpha != res.Alpha ||
+		back.AvgError != res.AvgError || back.Elapsed != res.Elapsed || back.Truncated != res.Truncated {
+		t.Fatalf("scalar fields differ after round trip: %+v", back)
+	}
+	if len(back.TopK) != len(res.TopK) {
+		t.Fatalf("top-K lost: %d vs %d", len(back.TopK), len(res.TopK))
+	}
+	for i := range res.TopK {
+		a, b := res.TopK[i], back.TopK[i]
+		if a.Score != b.Score || a.Size != b.Size || a.TotalError != b.TotalError ||
+			a.MaxError != b.MaxError || a.AvgError != b.AvgError {
+			t.Fatalf("slice %d statistics differ: %+v vs %+v", i, a, b)
+		}
+		if len(a.Predicates) != len(b.Predicates) {
+			t.Fatalf("slice %d predicates lost", i)
+		}
+		for j := range a.Predicates {
+			if a.Predicates[j] != b.Predicates[j] {
+				t.Fatalf("slice %d predicate %d differs: %+v vs %+v", i, j, a.Predicates[j], b.Predicates[j])
+			}
+		}
+	}
+	if len(back.Levels) != len(res.Levels) {
+		t.Fatal("levels lost")
+	}
+	for i := range res.Levels {
+		if back.Levels[i] != res.Levels[i] {
+			t.Fatalf("level %d differs: %+v vs %+v", i, back.Levels[i], res.Levels[i])
+		}
+	}
+}
+
+// TestResultJSONRejectsUnknownSchema: a future or missing schema version must
+// be refused, not silently half-parsed.
+func TestResultJSONRejectsUnknownSchema(t *testing.T) {
+	var r Result
+	if err := json.Unmarshal([]byte(`{"schema_version":99,"n":5}`), &r); err == nil {
+		t.Fatal("unknown schema version must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`{"n":5}`), &r); err == nil {
+		t.Fatal("missing schema version must be rejected")
+	}
+}

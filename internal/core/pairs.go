@@ -18,6 +18,23 @@ type group struct {
 	dead    bool // a pair-level bound already failed; the group bound can only be tighter
 }
 
+// pruneStats breaks the pruned pair-candidates of one level down by the rule
+// that removed them — the per-rule numbers behind Figure 3, exposed as level
+// span attributes by the observability layer.
+type pruneStats struct {
+	pairSize  int // failed the size bound at pair level (dedup off or L == 2)
+	pairScore int // failed the score bound at pair level (dedup off or L == 2)
+	dead      int // group condemned by a failing pair-level bound
+	size      int // failed the group size bound ⌈ss⌉ >= σ
+	score     int // failed the group score bound ⌈sc⌉ > sc_k ∧ ⌈sc⌉ >= 0
+	parents   int // missing-parent handling (np != L)
+}
+
+// total is the overall pruned count recorded in LevelStats.Pruned.
+func (p pruneStats) total() int {
+	return p.pairSize + p.pairScore + p.dead + p.size + p.score + p.parents
+}
+
 // pairCandidates generates, deduplicates and prunes the level-L slice
 // candidates from the evaluated level-(L-1) slices, following Section 4.3:
 //
@@ -33,10 +50,10 @@ type group struct {
 //     accumulating min-bounds and the distinct-parent count, and
 //  5. prune by Equation 9: ⌈ss⌉ >= σ ∧ ⌈sc⌉ > sc_k ∧ ⌈sc⌉ >= 0 ∧ np = L.
 //
-// It returns the surviving candidates and the number pruned. A nil level
-// with pruned == -1 signals that candidate generation exceeded
-// MaxCandidatesPerLevel and enumeration must truncate.
-func (st *state) pairCandidates(prev *level, L int, sck float64) (*level, int) {
+// It returns the surviving candidates and a per-rule pruning breakdown. A
+// nil level signals that candidate generation exceeded MaxCandidatesPerLevel
+// and enumeration must truncate.
+func (st *state) pairCandidates(prev *level, L int, sck float64) (*level, pruneStats) {
 	cfg := st.cfg
 
 	// Step 1: input filtering.
@@ -53,7 +70,7 @@ func (st *state) pairCandidates(prev *level, L int, sck float64) (*level, int) {
 
 	byKey := make(map[string]int) // canonical slice identity → index in list
 	var list []*group             // insertion order for deterministic output
-	pairPruned := 0
+	var pr pruneStats
 
 	addPair := func(i, j int, union []int) {
 		ssUB := math.Min(prev.ss[i], prev.ss[j])
@@ -62,9 +79,9 @@ func (st *state) pairCandidates(prev *level, L int, sck float64) (*level, int) {
 		// Early pair-level pruning: the group bound is the min over all its
 		// pairs, so one failing pair condemns the whole candidate. Only
 		// applicable when the corresponding pruning is enabled.
-		dead := false
+		dead, deadBySize := false, false
 		if !cfg.DisableSizePruning && ssUB < float64(cfg.Sigma) {
-			dead = true
+			dead, deadBySize = true, true
 		}
 		if !dead && !cfg.DisableScorePruning {
 			ub := st.sc.upperBound(ssUB, seUB, smUB)
@@ -79,7 +96,11 @@ func (st *state) pairCandidates(prev *level, L int, sck float64) (*level, int) {
 			// uniquely identifies its basic-slice pair so no duplicates can
 			// arise and both parents are always enumerated (np = 2 = L).
 			if dead {
-				pairPruned++
+				if deadBySize {
+					pr.pairSize++
+				} else {
+					pr.pairScore++
+				}
 				return
 			}
 			list = append(list, &group{cols: union, ssUB: ssUB, seUB: seUB, smUB: smUB})
@@ -115,7 +136,7 @@ func (st *state) pairCandidates(prev *level, L int, sck float64) (*level, int) {
 		// pair is compatible.
 		for a := 0; a < len(keep); a++ {
 			if len(list) > cfg.MaxCandidatesPerLevel {
-				return nil, -1
+				return nil, pruneStats{}
 			}
 			i := keep[a]
 			fi := st.featOf[prev.cols[i][0]]
@@ -148,7 +169,7 @@ func (st *state) pairCandidates(prev *level, L int, sck float64) (*level, int) {
 		var touched []int
 		for a, i := range keep {
 			if len(list) > cfg.MaxCandidatesPerLevel {
-				return nil, -1
+				return nil, pruneStats{}
 			}
 			touched = touched[:0]
 			for _, c := range prev.cols[i] {
@@ -188,27 +209,26 @@ func (st *state) pairCandidates(prev *level, L int, sck float64) (*level, int) {
 	// group-level pruning of Equation 9.
 	out := &level{}
 	var ubs []float64
-	pruned := pairPruned
 	for _, g := range list {
 		if g.dead {
-			pruned++
+			pr.dead++
 			continue
 		}
 		if !cfg.DisableSizePruning && g.ssUB < float64(cfg.Sigma) {
-			pruned++
+			pr.size++
 			continue
 		}
 		ub := st.sc.upperBound(g.ssUB, g.seUB, g.smUB)
 		if !cfg.DisableScorePruning {
 			if ub <= sck || ub < 0 {
-				pruned++
+				pr.score++
 				continue
 			}
 		}
 		if L > 2 && !cfg.DisableParentHandling && !cfg.DisableDedup && len(g.parents) != L {
 			// Missing-parent handling: a level-L slice has L parents; if any
 			// was pruned earlier, every extension is prunable too.
-			pruned++
+			pr.parents++
 			continue
 		}
 		out.cols = append(out.cols, g.cols)
@@ -221,7 +241,7 @@ func (st *state) pairCandidates(prev *level, L int, sck float64) (*level, int) {
 	out.se = make([]float64, out.size())
 	out.sm = make([]float64, out.size())
 	out.ss = make([]float64, out.size())
-	return out, pruned
+	return out, pr
 }
 
 // featuresDisjoint reports whether every column of a sorted union belongs to

@@ -2,12 +2,12 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"time"
 
 	"sliceline/internal/frame"
 	"sliceline/internal/matrix"
+	"sliceline/internal/obs"
 )
 
 // level holds the enumerated slices of one lattice level in the reduced
@@ -35,6 +35,7 @@ type state struct {
 	valOf  []int     // 1-based value code per reduced column
 	m      int       // original feature count
 	eval   ExternalEvaluator
+	ob     coreObs // pre-resolved metric handles (all nil when metrics are off)
 }
 
 // Run executes SliceLine (Algorithm 1) on an integer-encoded dataset and a
@@ -90,33 +91,36 @@ func RunWeightedContext(ctx context.Context, ds *frame.Dataset, e, w []float64, 
 }
 
 func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature, e, w []float64, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	n := enc.X.Rows()
 	if len(e) != n {
-		return nil, fmt.Errorf("core: error vector length %d vs %d rows", len(e), n)
+		return nil, fmt.Errorf("core: error vector length %d vs %d rows: %w", len(e), n, ErrBadErrorVector)
 	}
 	if w != nil {
 		if len(w) != n {
-			return nil, fmt.Errorf("core: weight vector length %d vs %d rows", len(w), n)
+			return nil, fmt.Errorf("core: weight vector length %d vs %d rows: %w", len(w), n, ErrBadWeight)
 		}
 		for i, v := range w {
 			if v <= 0 {
-				return nil, fmt.Errorf("core: non-positive weight %v at row %d", v, i)
+				return nil, fmt.Errorf("core: non-positive weight %v at row %d: %w", v, i, ErrBadWeight)
 			}
 		}
 		if cfg.Evaluator != nil {
-			return nil, errors.New("core: external evaluators do not support row weights")
+			return nil, fmt.Errorf("core: %w", ErrWeightedEvaluator)
 		}
 	}
 	for i, v := range e {
 		if v < 0 {
-			return nil, fmt.Errorf("core: negative error %v at row %d; SliceLine requires e >= 0", v, i)
+			return nil, fmt.Errorf("core: negative error %v at row %d; SliceLine requires e >= 0: %w", v, i, ErrBadErrorVector)
 		}
 	}
 	if len(feats) != enc.NumFeatures() {
-		return nil, fmt.Errorf("core: %d feature descriptors vs %d encoded features", len(feats), enc.NumFeatures())
+		return nil, fmt.Errorf("core: %d feature descriptors vs %d encoded features: %w", len(feats), enc.NumFeatures(), ErrNoFeatures)
 	}
 	if n == 0 {
-		return nil, errors.New("core: empty dataset")
+		return nil, fmt.Errorf("core: %w", ErrEmptyDataset)
 	}
 	var sc scorer
 	if w == nil {
@@ -132,7 +136,19 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 	}
 	start := time.Now()
 
-	st := &state{cfg: cfg, sc: sc, e: e, w: w, m: enc.NumFeatures()}
+	st := &state{cfg: cfg, sc: sc, e: e, w: w, m: enc.NumFeatures(), ob: newCoreObs(cfg.Metrics)}
+	st.ob.runs.Inc()
+	runSpan := obs.Start(cfg.Tracer, "core.run")
+	runSpan.SetInt("rows", int64(n))
+	runSpan.SetInt("features", int64(st.m))
+	runSpan.SetInt("onehot_width", int64(enc.Width()))
+	runSpan.SetInt("nnz", int64(enc.X.NNZ()))
+	runSpan.SetInt("k", int64(cfg.K))
+	runSpan.SetInt("sigma", int64(cfg.Sigma))
+	runSpan.SetFloat("alpha", cfg.Alpha)
+	runSpan.SetBool("weighted", w != nil)
+	runSpan.SetBool("external_evaluator", cfg.Evaluator != nil)
+	defer runSpan.End()
 
 	res := &Result{N: int(sc.n), AvgError: sc.avgErr, Sigma: cfg.Sigma, Alpha: cfg.Alpha}
 
@@ -178,6 +194,10 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 
 	// Project X, the offsets and statistics to the reduced column space.
 	st.x = enc.X.SelectCols(cI)
+	// The run span rides the context from here on, so external evaluators
+	// (and through them the distributed runtime) parent their spans under
+	// the enumeration that issued the work.
+	ctx = obs.ContextWith(ctx, runSpan)
 	if cfg.Evaluator != nil {
 		st.eval = cfg.Evaluator
 		if err := st.eval.Setup(ctx, st.x, e); err != nil {
@@ -206,14 +226,22 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 	}
 	resumedLevel := 0
 	if cfg.Resume && ck != nil {
+		csp := runSpan.Child("core.checkpoint.load")
 		lvl, err := ck.load(tk, cur, res)
+		csp.SetInt("level", int64(lvl))
+		csp.End()
 		if err != nil {
 			return nil, err
+		}
+		if lvl > 0 {
+			st.ob.ckLoads.Inc()
 		}
 		resumedLevel = lvl
 	}
 
 	if resumedLevel == 0 {
+		lsp := runSpan.Child("core.level")
+		lsp.SetInt("level", 1)
 		for i := range cur.cols {
 			tk.offer(cur.cols[i], cur.sc[i], cur.ss[i], cur.se[i], cur.sm[i])
 		}
@@ -224,9 +252,17 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 			Elapsed:    time.Since(start),
 		}
 		res.Levels = append(res.Levels, ls)
+		lsp.SetInt("candidates", int64(ls.Candidates))
+		lsp.SetInt("valid", int64(ls.Valid))
+		lsp.SetFloat("threshold", tk.threshold())
+		st.ob.levels.Inc()
+		st.ob.candidates.Add(int64(ls.Candidates))
+		st.ob.threshold.Set(tk.threshold())
+		st.ob.levelSecs.Observe(time.Since(start).Seconds())
+		lsp.End()
 		// Persist before the progress callback: a run killed inside the
 		// callback resumes from the level it just reported.
-		if err := ck.save(1, tk, cur, res); err != nil {
+		if err := st.saveCheckpoint(ck, 1, tk, cur, res, runSpan); err != nil {
 			return nil, err
 		}
 		if st.cfg.OnLevel != nil {
@@ -246,16 +282,26 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: enumeration cancelled before level %d: %w", lvl, err)
 		}
-		cand, pruned := st.pairCandidates(cur, lvl, tk.threshold())
+		lvlStart := time.Now()
+		lsp := runSpan.Child("core.level")
+		lsp.SetInt("level", int64(lvl))
+		lsp.SetInt("frontier", int64(cur.size()))
+		cand, pstats := st.pairCandidates(cur, lvl, tk.threshold())
+		pruned := pstats.total()
+		setPruneAttrs(lsp, pstats)
 		if cand == nil {
 			// Generation itself exceeded the candidate budget.
 			res.Truncated = true
+			lsp.Event("truncated: candidate generation exceeded budget")
+			lsp.End()
 			st.recordLevel(res, LevelStats{
 				Level: lvl, Elapsed: time.Since(start),
 			})
 			break
 		}
+		lsp.SetInt("candidates", int64(cand.size()))
 		if cand.size() == 0 {
+			lsp.End()
 			st.recordLevel(res, LevelStats{
 				Level: lvl, Pruned: pruned, Elapsed: time.Since(start),
 			})
@@ -263,20 +309,26 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 		}
 		if cand.size() > cfg.MaxCandidatesPerLevel {
 			res.Truncated = true
+			lsp.Event("truncated: level exceeds MaxCandidatesPerLevel")
+			lsp.End()
 			st.recordLevel(res, LevelStats{
 				Level: lvl, Candidates: cand.size(), Pruned: pruned, Elapsed: time.Since(start),
 			})
 			break
 		}
+		// Evaluation spans parent under the level span via the context.
+		lctx := obs.ContextWith(ctx, lsp)
 		if cfg.PriorityEnumeration {
-			evaluated, extraPruned, err := st.evalWithPriority(ctx, cand, lvl, tk)
+			evaluated, extraPruned, err := st.evalWithPriority(lctx, cand, lvl, tk)
 			if err != nil {
+				lsp.End()
 				return nil, err
 			}
 			cand = evaluated
 			pruned += extraPruned
 		} else {
-			if err := st.evalSlices(ctx, cand, lvl); err != nil {
+			if err := st.evalSlices(lctx, cand, lvl); err != nil {
+				lsp.End()
 				return nil, err
 			}
 			for i := range cand.cols {
@@ -291,7 +343,17 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 			Elapsed:    time.Since(start),
 		}
 		res.Levels = append(res.Levels, ls)
-		if err := ck.save(lvl, tk, cand, res); err != nil {
+		lsp.SetInt("evaluated", int64(ls.Candidates))
+		lsp.SetInt("valid", int64(ls.Valid))
+		lsp.SetInt("pruned", int64(ls.Pruned))
+		lsp.SetFloat("threshold", tk.threshold())
+		st.ob.levels.Inc()
+		st.ob.candidates.Add(int64(ls.Candidates))
+		st.ob.pruned.Add(int64(ls.Pruned))
+		st.ob.threshold.Set(tk.threshold())
+		st.ob.levelSecs.Observe(time.Since(lvlStart).Seconds())
+		lsp.End()
+		if err := st.saveCheckpoint(ck, lvl, tk, cand, res, runSpan); err != nil {
 			return nil, err
 		}
 		if st.cfg.OnLevel != nil {
@@ -302,7 +364,27 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 
 	res.TopK = st.decode(tk, feats)
 	res.Elapsed = time.Since(start)
+	runSpan.SetInt("levels", int64(len(res.Levels)))
+	runSpan.SetInt("total_candidates", int64(res.TotalCandidates()))
+	runSpan.SetInt("topk", int64(len(res.TopK)))
+	runSpan.SetBool("truncated", res.Truncated)
 	return res, nil
+}
+
+// saveCheckpoint wraps checkpointer.save with a span and a counter; a nil
+// checkpointer stays a no-op.
+func (st *state) saveCheckpoint(ck *checkpointer, lvl int, tk *topK, frontier *level, res *Result, parent *obs.Span) error {
+	if ck == nil {
+		return nil
+	}
+	sp := parent.Child("core.checkpoint.save")
+	sp.SetInt("level", int64(lvl))
+	err := ck.save(lvl, tk, frontier, res)
+	sp.End()
+	if err == nil {
+		st.ob.ckSaves.Inc()
+	}
+	return err
 }
 
 // recordLevel appends a level's statistics and fires the progress callback.

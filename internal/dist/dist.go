@@ -39,6 +39,7 @@ import (
 
 	"sliceline/internal/core"
 	"sliceline/internal/matrix"
+	"sliceline/internal/obs"
 )
 
 // Strategy selects a parallelization plan.
@@ -160,6 +161,19 @@ type Options struct {
 	// worker is declared suspect and its partitions are re-shipped. <= 0
 	// defaults to 2.
 	HeartbeatStrikes int
+
+	// Tracer, when non-nil, receives spans for cluster setup, heartbeat
+	// evictions, and — when the driver's run context does not already carry a
+	// span — evaluations. RPC and partition spans parent under the context's
+	// span when one is present (core places its eval span there), so the
+	// cluster's trace nests inside the enumeration's even with a nil Tracer
+	// here.
+	Tracer obs.Tracer
+
+	// Metrics, when non-nil, receives per-RPC latency histograms, retry /
+	// failover / hedge / eviction counters and per-worker queue-depth gauges
+	// (the sl_dist_* families). Nil disables metric recording at zero cost.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -185,6 +199,7 @@ func (o Options) withDefaults() Options {
 type Cluster struct {
 	workers []Worker
 	opts    Options
+	ob      distObs
 
 	mu      sync.Mutex
 	ready   bool
@@ -232,7 +247,11 @@ func NewClusterOpts(workers []Worker, opts Options) (*Cluster, error) {
 	if len(workers) == 0 {
 		return nil, errors.New("dist: cluster needs at least one worker")
 	}
-	return &Cluster{workers: workers, opts: opts.withDefaults()}, nil
+	return &Cluster{
+		workers: workers,
+		opts:    opts.withDefaults(),
+		ob:      newDistObs(opts.Metrics, len(workers)),
+	}, nil
 }
 
 // callCtx derives the per-RPC context from the run context.
@@ -252,12 +271,18 @@ func (c *Cluster) callCtx(ctx context.Context) (context.Context, context.CancelF
 // first n workers receive one; the rest stay pure failover/hedge targets.
 func (c *Cluster) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
 	c.stopHeartbeat()
+	sp := c.startSpan(ctx, "dist.setup")
+	defer sp.End()
 	n := x.Rows()
 	w := len(c.workers)
 	nParts := w
 	if n < nParts {
 		nParts = n
 	}
+	sp.SetInt("workers", int64(w))
+	sp.SetInt("rows", int64(n))
+	sp.SetInt("partitions", int64(nParts))
+	c.ob.partitions.Set(float64(nParts))
 	c.mu.Lock()
 	c.ready = false
 	c.alive = make([]bool, w)
@@ -285,15 +310,14 @@ func (c *Cluster) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
 		// with a dead member at startup still comes up.
 		wi := k
 		for {
-			lctx, cancel := c.callCtx(ctx)
-			err := c.workers[wi].Load(lctx, k, part.x, part.e)
-			cancel()
+			err := c.loadRPC(ctx, sp, wi, k, part)
 			if err == nil {
 				break
 			}
 			if ctx.Err() != nil {
 				return fmt.Errorf("dist: loading worker %d: %w", wi, err)
 			}
+			sp.Event(fmt.Sprintf("worker %d failed initial load, failing over", wi))
 			c.markDead(wi)
 			if wi = c.nextLive(-1); wi < 0 {
 				return fmt.Errorf("dist: no live worker accepts partition %d: %w", k, err)
@@ -332,6 +356,12 @@ func (c *Cluster) Eval(ctx context.Context, cols [][]int, level int) (ss, se, sm
 	if !ready {
 		return nil, nil, nil, errors.New("dist: Eval before Setup")
 	}
+	esp := c.startSpan(ctx, "dist.eval")
+	defer esp.End()
+	esp.SetInt("level", int64(level))
+	esp.SetInt("candidates", int64(len(cols)))
+	esp.SetInt("partitions", int64(nParts))
+	ctx = obs.ContextWith(ctx, esp)
 	n := len(cols)
 	ss = make([]float64, n)
 	se = make([]float64, n)
@@ -387,7 +417,26 @@ func (c *Cluster) Eval(ctx context.Context, cols [][]int, level int) (ss, se, sm
 // malformed vectors into the aggregate would corrupt every slice statistic
 // downstream.
 func (c *Cluster) tryEval(ctx context.Context, wi, p int, cols [][]int, level int) (ss, se, sm []float64, err error) {
-	cctx, cancel := c.callCtx(ctx)
+	sp := obs.FromContext(ctx).Child("dist.rpc")
+	sp.SetStr("op", "eval")
+	sp.SetInt("worker", int64(wi))
+	sp.SetInt("partition", int64(p))
+	sp.SetInt("level", int64(level))
+	sp.SetInt("candidates", int64(len(cols)))
+	g := c.ob.inflightFor(wi)
+	g.Add(1)
+	start := time.Now()
+	defer func() {
+		g.Add(-1)
+		c.ob.evalSecs.Observe(time.Since(start).Seconds())
+		if err != nil {
+			c.ob.evalErrs.Inc()
+			sp.SetBool("error", true)
+			sp.Event("error: " + err.Error())
+		}
+		sp.End()
+	}()
+	cctx, cancel := c.callCtx(obs.ContextWith(ctx, sp))
 	defer cancel()
 	ss, se, sm, err = c.workers[wi].Eval(cctx, p, cols, level, c.opts.BlockSize)
 	if err != nil {
@@ -416,15 +465,44 @@ func (c *Cluster) loadPartition(ctx context.Context, wi, p int) error {
 	c.mu.Lock()
 	part := c.parts[p]
 	c.mu.Unlock()
-	lctx, cancel := c.callCtx(ctx)
+	return c.loadRPC(ctx, obs.FromContext(ctx), wi, p, part)
+}
+
+// loadRPC ships one partition to a worker under the per-call deadline, with
+// an RPC span (parented under parent when tracing is on) and latency /
+// queue-depth / error metrics.
+func (c *Cluster) loadRPC(ctx context.Context, parent *obs.Span, wi, p int, part partition) (err error) {
+	sp := parent.Child("dist.rpc")
+	sp.SetStr("op", "load")
+	sp.SetInt("worker", int64(wi))
+	sp.SetInt("partition", int64(p))
+	sp.SetInt("rows", int64(part.x.Rows()))
+	g := c.ob.inflightFor(wi)
+	g.Add(1)
+	start := time.Now()
+	defer func() {
+		g.Add(-1)
+		c.ob.loadSecs.Observe(time.Since(start).Seconds())
+		if err != nil {
+			c.ob.loadErrs.Inc()
+			sp.SetBool("error", true)
+			sp.Event("error: " + err.Error())
+		}
+		sp.End()
+	}()
+	lctx, cancel := c.callCtx(obs.ContextWith(ctx, sp))
 	defer cancel()
 	return c.workers[wi].Load(lctx, p, part.x, part.e)
 }
 
 func (c *Cluster) markDead(wi int) {
 	c.mu.Lock()
+	was := c.alive[wi]
 	c.alive[wi] = false
 	c.mu.Unlock()
+	if was {
+		c.ob.deaths.Inc()
+	}
 }
 
 func (c *Cluster) setAssign(p, wi int) {
@@ -452,6 +530,7 @@ func (c *Cluster) nextLive(avoid int) int {
 // returns the worker that produced the result so the caller can update the
 // assignment.
 func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, level, avoid int) (ss, se, sm []float64, winner int, err error) {
+	sp := obs.FromContext(ctx) // the partition (or hedge) span, nil when tracing is off
 	for attempt := 0; attempt <= len(c.workers); attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
 			if err == nil {
@@ -478,6 +557,8 @@ func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, l
 			// every partition. Reload the partition in place once before
 			// declaring the worker dead, so a restarted worker rejoins the
 			// run instead of shifting its load onto the survivors.
+			sp.Event(fmt.Sprintf("reloading partition in place on worker %d", wi))
+			c.ob.retries.Inc()
 			if lerr := c.loadPartition(ctx, wi, p); lerr == nil {
 				ss, se, sm, err = c.tryEval(ctx, wi, p, cols, level)
 				if err == nil {
@@ -489,6 +570,7 @@ func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, l
 			}
 			// Mark the worker dead; its other partitions will fail over as
 			// their own evaluations error out.
+			sp.Event(fmt.Sprintf("marking worker %d dead", wi))
 			c.markDead(wi)
 		}
 		// Find a healthy worker, reship the partition, and retry.
@@ -498,6 +580,13 @@ func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, l
 				err = errors.New("dist: worker unavailable")
 			}
 			return nil, nil, nil, -1, fmt.Errorf("dist: no live workers left for partition %d: %w", p, err)
+		}
+		// A hedge chain's first reroute is just the hedge picking a worker
+		// other than the straggler, not a failover.
+		if avoid < 0 || attempt > 0 {
+			sp.Event(fmt.Sprintf("failing over partition to worker %d", next))
+			c.ob.failovers.Inc()
+			c.ob.retries.Inc()
 		}
 		c.setAssign(p, next)
 		if lerr := c.loadPartition(ctx, next, p); lerr != nil {
@@ -584,6 +673,11 @@ func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, co
 		winner     int
 		err        error
 	}
+	psp := obs.FromContext(ctx).Child("dist.partition")
+	psp.SetInt("partition", int64(p))
+	psp.SetInt("level", int64(level))
+	defer psp.End()
+	ctx = obs.ContextWith(ctx, psp)
 	start := time.Now()
 	pctx, pcancel := context.WithCancel(ctx)
 	defer pcancel()
@@ -596,6 +690,7 @@ func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, co
 		out := <-primary
 		if out.err == nil {
 			c.setAssign(p, out.winner)
+			psp.SetInt("winner", int64(out.winner))
 		}
 		return out.ss, out.se, out.sm, out.err
 	}
@@ -628,6 +723,7 @@ func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, co
 				hcancel()
 				hc.record(time.Since(start))
 				c.setAssign(p, out.winner)
+				psp.SetInt("winner", int64(out.winner))
 				return out.ss, out.se, out.sm, nil
 			}
 			if hedge == nil {
@@ -640,6 +736,9 @@ func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, co
 				pcancel()
 				hc.record(time.Since(start))
 				c.setAssign(p, out.winner)
+				c.ob.hedgeWins.Inc()
+				psp.SetInt("winner", int64(out.winner))
+				psp.SetBool("hedge_won", true)
 				return out.ss, out.se, out.sm, nil
 			}
 			if primary == nil {
@@ -657,6 +756,9 @@ func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, co
 			if c.nextLive(straggler) < 0 {
 				continue // nowhere to hedge; keep waiting on the primary
 			}
+			c.ob.hedges.Inc()
+			psp.Event(fmt.Sprintf("hedge fired against straggling worker %d", straggler))
+			psp.SetBool("hedged", true)
 			hctx, cancel := context.WithCancel(ctx)
 			hcancel = cancel
 			ch := make(chan outcome, 1)
@@ -730,23 +832,40 @@ func (c *Cluster) probeAll(stop chan struct{}) {
 		default:
 		}
 		pctx, cancel := context.WithTimeout(context.Background(), c.opts.HeartbeatTimeout)
+		pstart := time.Now()
 		err := c.workers[wi].Ping(pctx)
 		cancel()
+		c.ob.pingSecs.Observe(time.Since(pstart).Seconds())
 		c.mu.Lock()
 		if err == nil {
 			c.strikes[wi] = 0
+			revived := !c.alive[wi]
 			c.alive[wi] = true
 			c.mu.Unlock()
+			if revived {
+				c.ob.resurrections.Inc()
+				rsp := obs.Start(c.opts.Tracer, "dist.resurrection")
+				rsp.SetInt("worker", int64(wi))
+				rsp.End()
+			}
 			continue
 		}
+		c.ob.pingErrs.Inc()
 		c.strikes[wi]++
-		suspect := c.alive[wi] && c.strikes[wi] >= c.opts.HeartbeatStrikes
+		strikes := c.strikes[wi]
+		suspect := c.alive[wi] && strikes >= c.opts.HeartbeatStrikes
 		if suspect {
 			c.alive[wi] = false
 		}
 		c.mu.Unlock()
 		if suspect {
-			c.reshipFrom(wi)
+			c.ob.evictions.Inc()
+			esp := obs.Start(c.opts.Tracer, "dist.eviction")
+			esp.SetInt("worker", int64(wi))
+			esp.SetInt("strikes", int64(strikes))
+			esp.Event("worker evicted by heartbeat; re-shipping its partitions")
+			c.reshipFrom(wi, esp)
+			esp.End()
 		}
 	}
 }
@@ -754,7 +873,7 @@ func (c *Cluster) probeAll(stop chan struct{}) {
 // reshipFrom moves every partition assigned to a suspected-dead worker onto
 // live workers, round-robin. A failed re-ship leaves the assignment for the
 // mid-Eval failover path to retry.
-func (c *Cluster) reshipFrom(dead int) {
+func (c *Cluster) reshipFrom(dead int, sp *obs.Span) {
 	c.mu.Lock()
 	var moves [][2]int // partition, target worker
 	live := make([]int, 0, len(c.workers))
@@ -779,9 +898,11 @@ func (c *Cluster) reshipFrom(dead int) {
 		// Bound the re-ship even when no CallTimeout is configured — a hung
 		// target must not wedge the heartbeat loop (Close waits for it).
 		rctx, cancel := context.WithTimeout(context.Background(), c.opts.HeartbeatTimeout)
-		err := c.loadPartition(rctx, target, p)
+		err := c.loadPartition(obs.ContextWith(rctx, sp), target, p)
 		cancel()
 		if err == nil {
+			c.ob.reships.Inc()
+			sp.Event(fmt.Sprintf("partition %d re-shipped to worker %d", p, target))
 			c.setAssign(p, target)
 		}
 	}

@@ -15,6 +15,7 @@ import (
 
 	"sliceline/internal/core"
 	"sliceline/internal/matrix"
+	"sliceline/internal/obs"
 )
 
 // LoadArgs ships a row partition to a remote worker (gob-encoded).
@@ -56,6 +57,7 @@ type PingReply struct{}
 type Service struct {
 	mu    sync.Mutex
 	parts map[int]partition
+	ob    svcObs
 }
 
 // Load implements the worker side of partition shipping.
@@ -66,6 +68,7 @@ func (s *Service) Load(args *LoadArgs, _ *LoadReply) error {
 	if len(args.Err) != args.Rows {
 		return fmt.Errorf("dist: bad partition: %d errors for %d rows", len(args.Err), args.Rows)
 	}
+	s.ob.loads.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.parts == nil {
@@ -75,11 +78,18 @@ func (s *Service) Load(args *LoadArgs, _ *LoadReply) error {
 		x: matrix.NewCSR(args.Rows, args.Cols, args.RowPtr, args.ColIdx, args.Val),
 		e: args.Err,
 	}
+	rows := 0
+	for _, p := range s.parts {
+		rows += p.x.Rows()
+	}
+	s.ob.parts.Set(float64(len(s.parts)))
+	s.ob.rows.Set(float64(rows))
 	return nil
 }
 
 // Eval implements the worker side of candidate evaluation.
 func (s *Service) Eval(args *EvalArgs, reply *EvalReply) error {
+	s.ob.evals.Inc()
 	s.mu.Lock()
 	p, ok := s.parts[args.Part]
 	s.mu.Unlock()
@@ -87,16 +97,22 @@ func (s *Service) Eval(args *EvalArgs, reply *EvalReply) error {
 		return fmt.Errorf("dist: worker holds no partition %d", args.Part)
 	}
 	n := len(args.Cols)
+	s.ob.cands.Add(int64(n))
 	reply.SS = make([]float64, n)
 	reply.SE = make([]float64, n)
 	reply.SM = make([]float64, n)
+	start := time.Now()
 	core.EvalPartition(p.x, p.e, args.Cols, args.Level, args.BlockSize, reply.SS, reply.SE, reply.SM)
+	s.ob.evalSecs.Observe(time.Since(start).Seconds())
 	return nil
 }
 
 // Ping implements the worker side of the liveness probe used by the
 // cluster's background health checker.
-func (s *Service) Ping(_ *PingArgs, _ *PingReply) error { return nil }
+func (s *Service) Ping(_ *PingArgs, _ *PingReply) error {
+	s.ob.pings.Inc()
+	return nil
+}
 
 // Server serves worker RPCs on a listener. It supports abrupt Stop —
 // modelling worker crashes for failover drills — and graceful Shutdown,
@@ -115,10 +131,24 @@ type Server struct {
 	draining bool
 }
 
+// ServerOptions configures a worker RPC server's observability.
+type ServerOptions struct {
+	// Metrics, when non-nil, receives the worker-side RPC counters, eval
+	// latency histogram and partition/row gauges (the sl_worker_* families).
+	// Expose the registry over HTTP with obs.Handler (see cmd/slworker's
+	// -metrics-addr flag).
+	Metrics *obs.Registry
+}
+
 // NewServer wraps a listener in a worker RPC server; call Serve to run it.
 func NewServer(lis net.Listener) (*Server, error) {
+	return NewServerOpts(lis, ServerOptions{})
+}
+
+// NewServerOpts is NewServer with explicit observability options.
+func NewServerOpts(lis net.Listener, opts ServerOptions) (*Server, error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", &Service{}); err != nil {
+	if err := srv.RegisterName("Worker", &Service{ob: newSvcObs(opts.Metrics)}); err != nil {
 		return nil, err
 	}
 	s := &Server{lis: lis, srv: srv, conns: make(map[net.Conn]struct{})}

@@ -26,6 +26,7 @@ import (
 
 	"sliceline/internal/dist"
 	"sliceline/internal/matrix"
+	"sliceline/internal/obs"
 )
 
 // Op identifies one Worker operation.
@@ -235,13 +236,21 @@ func Wrap(w dist.Worker, sched *Schedule) *Worker {
 	return &Worker{inner: w, sched: sched}
 }
 
-// next assigns this call's index and resolves its action.
-func (w *Worker) next(op Op) Action {
+// next assigns this call's index and resolves its action. A firing fault is
+// announced as an event on the span carried by ctx (the cluster's per-RPC
+// span), so traces of chaos runs show exactly which calls were sabotaged.
+func (w *Worker) next(ctx context.Context, op Op) Action {
 	w.mu.Lock()
 	call := w.calls[op]
 	w.calls[op]++
 	w.mu.Unlock()
-	return w.sched.action(op, call)
+	a := w.sched.action(op, call)
+	if a.Kind != None {
+		sp := obs.FromContext(ctx)
+		sp.Event(fmt.Sprintf("fault injected: %s on %s call %d", a.Kind, op, call))
+		sp.SetStr("fault", a.Kind.String())
+	}
+	return a
 }
 
 // Calls reports how many invocations of op the worker has received,
@@ -275,7 +284,7 @@ func (w *Worker) before(ctx context.Context, op Op, a Action) error {
 
 // Load implements dist.Worker.
 func (w *Worker) Load(ctx context.Context, part int, x *matrix.CSR, e []float64) error {
-	a := w.next(OpLoad)
+	a := w.next(ctx, OpLoad)
 	if err := w.before(ctx, OpLoad, a); err != nil {
 		return err
 	}
@@ -291,7 +300,7 @@ func (w *Worker) Load(ctx context.Context, part int, x *matrix.CSR, e []float64)
 
 // Eval implements dist.Worker.
 func (w *Worker) Eval(ctx context.Context, part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error) {
-	a := w.next(OpEval)
+	a := w.next(ctx, OpEval)
 	if err := w.before(ctx, OpEval, a); err != nil {
 		return nil, nil, nil, err
 	}
@@ -324,7 +333,7 @@ func (w *Worker) Eval(ctx context.Context, part int, cols [][]int, level, blockS
 // Ping implements dist.Worker. Any scheduled fault fails the probe; Delay
 // beyond the probe deadline fails it too, via ctx.
 func (w *Worker) Ping(ctx context.Context) error {
-	a := w.next(OpPing)
+	a := w.next(ctx, OpPing)
 	if err := w.before(ctx, OpPing, a); err != nil {
 		return err
 	}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: metrics sort by full
+// name, one # HELP/# TYPE pair per metric family. Histograms expose the
+// usual cumulative _bucket{le=...}, _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	entries, help := r.snapshot()
+	seenFam := make(map[string]bool)
+	for _, e := range entries {
+		fam := familyOf(e.name)
+		if !seenFam[fam] {
+			seenFam[fam] = true
+			if h := help[fam]; h != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, promType(e.m)); err != nil {
+				return err
+			}
+		}
+		if err := writePromMetric(w, e.name, e.m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promType(m any) string {
+	switch m.(type) {
+	case *Counter:
+		return "counter"
+	case *Gauge:
+		return "gauge"
+	case *Histogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// withLabel appends one label to a full metric name that may already carry a
+// {..} label suffix, producing suffix-form series names like
+// name{worker="0",le="0.5"}.
+func withLabel(name, key, val string) string {
+	lbl := key + `="` + val + `"`
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + lbl + "}"
+	}
+	return name + "{" + lbl + "}"
+}
+
+// seriesName splits a full name into family and existing label suffix and
+// re-joins with a series suffix (_bucket, _sum, _count) on the family.
+func seriesName(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func writePromMetric(w io.Writer, name string, m any) error {
+	switch v := m.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s %d\n", name, v.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", name, promFloat(v.Value()))
+		return err
+	case *Histogram:
+		cum := int64(0)
+		for i, b := range v.bounds {
+			cum += v.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(seriesName(name, "_bucket"), "le", promFloat(b)), cum); err != nil {
+				return err
+			}
+		}
+		cum += v.counts[len(v.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(seriesName(name, "_bucket"), "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(name, "_sum"), promFloat(v.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(name, "_count"), v.Count())
+		return err
+	default:
+		return fmt.Errorf("obs: unknown metric kind %T", m)
+	}
+}
+
+// jsonHistogram is the JSON form of a histogram snapshot.
+type jsonHistogram struct {
+	Kind   string    `json:"kind"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // per-bucket (non-cumulative), +Inf last
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// WriteJSON renders the registry as one JSON object keyed by full metric
+// name: counters as integers, gauges as floats, histograms as objects with
+// bounds, per-bucket counts, sum and count. Key order is deterministic
+// (sorted), matching the Prometheus exporter.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	entries, _ := r.snapshot()
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, e := range entries {
+		kb, _ := json.Marshal(e.name)
+		b.WriteString("  ")
+		b.Write(kb)
+		b.WriteString(": ")
+		switch v := e.m.(type) {
+		case *Counter:
+			b.WriteString(strconv.FormatInt(v.Value(), 10))
+		case *Gauge:
+			vb, _ := json.Marshal(v.Value())
+			b.Write(vb)
+		case *Histogram:
+			counts := make([]int64, len(v.counts))
+			for j := range v.counts {
+				counts[j] = v.counts[j].Load()
+			}
+			vb, err := json.Marshal(jsonHistogram{
+				Kind: "histogram", Bounds: v.bounds, Counts: counts,
+				Sum: v.Sum(), Count: v.Count(),
+			})
+			if err != nil {
+				return err
+			}
+			b.Write(vb)
+		}
+		if i < len(entries)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with fixed, deterministic contents —
+// every metric kind, labeled and unlabeled names — so the exporter output is
+// byte-stable.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("sl_candidates_total", "Slice candidates evaluated.").Add(12345)
+	r.Counter(`sl_rpc_total{op="eval",worker="0"}`, "Worker RPCs issued.").Add(41)
+	r.Counter(`sl_rpc_total{op="eval",worker="1"}`, "ignored duplicate help").Add(40)
+	r.Gauge("sl_topk_threshold", "Current top-K pruning threshold.").Set(0.125)
+	r.Gauge(`sl_worker_inflight{worker="0"}`, "In-flight RPCs per worker.").Set(2)
+	h := r.Histogram("sl_eval_seconds", "Candidate evaluation latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom", b.Bytes())
+}
+
+func TestJSONGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The golden file must also be valid JSON.
+	var doc map[string]any
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter output is not valid JSON: %v\n%s", err, b.String())
+	}
+	checkGolden(t, "metrics.json", b.Bytes())
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler(goldenRegistry()))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		return b.String(), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(body, "sl_candidates_total 12345") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+
+	body, ct = get("/metrics.json")
+	if !strings.Contains(body, `"sl_topk_threshold": 0.125`) {
+		t.Fatalf("/metrics.json missing gauge:\n%s", body)
+	}
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/metrics.json content type %q", ct)
+	}
+
+	body, _ = get("/debug/vars")
+	if !strings.Contains(body, "memstats") {
+		t.Fatal("/debug/vars missing expvar memstats")
+	}
+
+	body, _ = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatal("/debug/pprof/ index missing goroutine profile link")
+	}
+}
+
+func TestServeBindsAndShutsDown(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", goldenRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics on served addr: %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-local metrics registry. Metric handles are resolved
+// once (get-or-create by full name, which may carry a Prometheus-style
+// {label="value"} suffix) and then updated lock-free on the hot path. A nil
+// *Registry resolves nil handles, and every handle method is a no-op on a
+// nil receiver, so instrumented code pays nothing when metrics are off.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]any
+	order  []string
+	help   map[string]string // help text per metric family (name sans labels)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]any), help: make(map[string]string)}
+}
+
+// familyOf strips a {label="value"} suffix, returning the metric family name
+// used for HELP/TYPE grouping in the Prometheus exposition.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float metric.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (atomic via CAS). No-op on a nil receiver.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// each bucket counts observations at or below its upper bound, plus an
+// implicit +Inf bucket).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    Gauge          // reuses the CAS float accumulator
+	count  atomic.Int64
+}
+
+// DefBuckets are the default latency buckets in seconds, spanning
+// microsecond kernels to multi-minute distributed levels.
+var DefBuckets = []float64{
+	1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 1, 5, 30, 120,
+}
+
+// Observe records one sample. No-op on a nil receiver; allocation-free
+// otherwise (binary search over the fixed bounds).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Counter returns (creating on first use) the counter with the given full
+// name. help is recorded for the metric family on first registration. A nil
+// registry returns a nil handle. Registering the same name as a different
+// metric kind panics: that is a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		return c
+	}
+	c := &Counter{}
+	r.register(name, help, c)
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge with the given full name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		return g
+	}
+	g := &Gauge{}
+	r.register(name, help, g)
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram with the given
+// full name. bounds must be sorted ascending; nil selects DefBuckets.
+// Bounds are fixed at first registration; later calls ignore the argument.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		return h
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly ascending", name))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	r.register(name, help, h)
+	return h
+}
+
+// register stores a new metric under r.mu.
+func (r *Registry) register(name, help string, m any) {
+	r.byName[name] = m
+	r.order = append(r.order, name)
+	fam := familyOf(name)
+	if _, ok := r.help[fam]; !ok && help != "" {
+		r.help[fam] = help
+	}
+}
+
+// snapshotEntry pairs a metric with its name for the exporters.
+type snapshotEntry struct {
+	name string
+	m    any
+}
+
+// snapshot returns all metrics sorted by name (family grouping falls out of
+// the lexicographic order since labels sort after the family prefix).
+func (r *Registry) snapshot() ([]snapshotEntry, map[string]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	out := make([]snapshotEntry, 0, len(names))
+	for _, n := range names {
+		out = append(out, snapshotEntry{name: n, m: r.byName[n]})
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	return out, help
+}

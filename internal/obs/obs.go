@@ -1,0 +1,375 @@
+// Package obs is SliceLine's zero-dependency observability layer: spans
+// (package-level tracing of runs, lattice levels, evaluation blocks, and
+// worker RPCs), a metrics registry (counters, gauges, histograms with
+// Prometheus-text and JSON exporters), and an HTTP surface bundling the
+// metric endpoints with expvar and net/http/pprof.
+//
+// The layer is designed so that switched-off observability costs nothing on
+// the hot path: a nil Tracer produces nil *Span values, and every Span,
+// Counter, Gauge and Histogram method is a no-op on a nil receiver without
+// allocating. Instrumented code therefore never branches on "is tracing on"
+// — it unconditionally calls methods on possibly-nil handles resolved once
+// at setup time.
+//
+// Spans flow through contexts: the enumeration loop of internal/core places
+// its per-level evaluation span into the context it hands to external
+// evaluators, and the distributed runtime of internal/dist parents its
+// per-RPC spans under whatever span the context carries. Callers plug in
+// their own Tracer implementation (receiving every finished span via Finish)
+// or use JSONTracer, which collects spans for a JSON dump.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer receives spans. StartSpan begins a root span; Finish is invoked
+// exactly once per span when it ends (including child spans, which reach the
+// tracer of their root ancestor). Implementations must be safe for
+// concurrent use: the distributed runtime finishes RPC spans from many
+// goroutines.
+type Tracer interface {
+	StartSpan(name string) *Span
+	Finish(s *Span)
+}
+
+// spanIDs issues process-unique span identifiers.
+var spanIDs atomic.Uint64
+
+// Span is one timed operation with typed attributes and point events. The
+// zero-cost off switch is the nil *Span: every method is a no-op on a nil
+// receiver, so instrumented code holds possibly-nil spans and calls through
+// unconditionally.
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+
+	mu     sync.Mutex
+	attrs  []Attr
+	events []Event
+	tr     Tracer
+	ended  bool
+}
+
+// Attr is one typed span attribute.
+type Attr struct {
+	Key string
+	// Kind selects which of the value fields is meaningful.
+	Kind AttrKind
+	Int  int64
+	Flt  float64
+	Str  string
+}
+
+// AttrKind discriminates attribute values.
+type AttrKind int
+
+// Attribute kinds.
+const (
+	KindInt AttrKind = iota
+	KindFloat
+	KindStr
+)
+
+// Event is a point-in-time annotation on a span, offset from the span start.
+type Event struct {
+	Name string
+	At   time.Duration
+}
+
+// NewSpan constructs a started span owned by tr. Custom Tracer
+// implementations call it from StartSpan; Finish receives the same pointer
+// back when the span ends.
+func NewSpan(tr Tracer, name string) *Span {
+	return &Span{ID: spanIDs.Add(1), Name: name, Start: time.Now(), tr: tr}
+}
+
+// Start begins a root span on tr, or returns nil when tr is nil. It is the
+// entry point instrumented code uses so the nil-tracer path never allocates.
+func Start(tr Tracer, name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.StartSpan(name)
+}
+
+// Child begins a sub-span. On a nil receiver it returns nil, keeping whole
+// instrumented call trees free when tracing is off.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(s.tr, name)
+	c.Parent = s.ID
+	return c
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindInt, Int: v})
+	s.mu.Unlock()
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindFloat, Flt: v})
+	s.mu.Unlock()
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindStr, Str: v})
+	s.mu.Unlock()
+}
+
+// SetBool attaches a boolean attribute (encoded as 0/1).
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	i := int64(0)
+	if v {
+		i = 1
+	}
+	s.SetInt(key, i)
+}
+
+// Event records a point event at the current offset into the span.
+func (s *Span) Event(name string) {
+	if s == nil {
+		return
+	}
+	at := time.Since(s.Start)
+	s.mu.Lock()
+	s.events = append(s.events, Event{Name: name, At: at})
+	s.mu.Unlock()
+}
+
+// End stamps the duration and delivers the span to its tracer, once.
+// Repeated Ends are ignored, so a deferred End composes with early Ends on
+// success paths.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.Dur = time.Since(s.Start)
+	tr := s.tr
+	s.mu.Unlock()
+	if tr != nil {
+		tr.Finish(s)
+	}
+}
+
+// Attrs returns a copy of the span's attributes.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Events returns a copy of the span's events.
+func (s *Span) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// AttrInt returns the last integer attribute with the given key, or def.
+func (s *Span) AttrInt(key string, def int64) int64 {
+	if s == nil {
+		return def
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := def
+	for _, a := range s.attrs {
+		if a.Key == key && a.Kind == KindInt {
+			out = a.Int
+		}
+	}
+	return out
+}
+
+// ctxKey carries a span through a context.
+type ctxKey struct{}
+
+// ContextWith returns a context carrying s. A nil span returns ctx
+// unchanged, so switched-off tracing adds no context allocation.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// JSONTracer collects finished spans in memory for a JSON dump — the
+// implementation behind the binaries' -trace flags. It is bounded: beyond
+// MaxSpans finished spans the oldest are kept and later ones dropped
+// (Dropped reports how many), so a runaway enumeration cannot exhaust
+// memory through its own telemetry.
+type JSONTracer struct {
+	mu      sync.Mutex
+	spans   []*Span
+	dropped int
+	max     int
+	t0      time.Time
+}
+
+// DefaultMaxSpans bounds a JSONTracer's retained spans.
+const DefaultMaxSpans = 1 << 20
+
+// NewJSONTracer returns an empty collecting tracer with the default bound.
+func NewJSONTracer() *JSONTracer {
+	return &JSONTracer{max: DefaultMaxSpans, t0: time.Now()}
+}
+
+// StartSpan implements Tracer.
+func (t *JSONTracer) StartSpan(name string) *Span { return NewSpan(t, name) }
+
+// Finish implements Tracer.
+func (t *JSONTracer) Finish(s *Span) {
+	t.mu.Lock()
+	if len(t.spans) < t.max {
+		t.spans = append(t.spans, s)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a snapshot of the finished spans in finish order.
+func (t *JSONTracer) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// Dropped reports how many spans were discarded after the bound was hit.
+func (t *JSONTracer) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all collected spans.
+func (t *JSONTracer) Reset() {
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// jsonSpan is the stable on-disk form of one span.
+type jsonSpan struct {
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Events  []jsonEvent    `json:"events,omitempty"`
+}
+
+type jsonEvent struct {
+	Name string `json:"name"`
+	AtUS int64  `json:"at_us"`
+}
+
+// exportSpan converts a span for JSON output; start times are relative to t0
+// so dumps are comparable across runs.
+func exportSpan(s *Span, t0 time.Time) jsonSpan {
+	js := jsonSpan{
+		ID:      s.ID,
+		Parent:  s.Parent,
+		Name:    s.Name,
+		StartUS: s.Start.Sub(t0).Microseconds(),
+		DurUS:   s.Dur.Microseconds(),
+	}
+	attrs := s.Attrs()
+	if len(attrs) > 0 {
+		js.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			switch a.Kind {
+			case KindInt:
+				js.Attrs[a.Key] = a.Int
+			case KindFloat:
+				js.Attrs[a.Key] = a.Flt
+			case KindStr:
+				js.Attrs[a.Key] = a.Str
+			}
+		}
+	}
+	for _, e := range s.Events() {
+		js.Events = append(js.Events, jsonEvent{Name: e.Name, AtUS: e.At.Microseconds()})
+	}
+	return js
+}
+
+// WriteJSON dumps all collected spans as one JSON document, ordered by start
+// time (ties by span ID) for a stable layout.
+func (t *JSONTracer) WriteJSON(w io.Writer) error {
+	spans := t.Spans()
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	t.mu.Lock()
+	t0 := t.t0
+	dropped := t.dropped
+	t.mu.Unlock()
+	doc := struct {
+		SchemaVersion int        `json:"schema_version"`
+		Dropped       int        `json:"dropped_spans,omitempty"`
+		Spans         []jsonSpan `json:"spans"`
+	}{SchemaVersion: 1, Dropped: dropped, Spans: make([]jsonSpan, 0, len(spans))}
+	for _, s := range spans {
+		doc.Spans = append(doc.Spans, exportSpan(s, t0))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

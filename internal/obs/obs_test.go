@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewJSONTracer()
+	sp := Start(tr, "run")
+	if sp == nil {
+		t.Fatal("Start on a live tracer returned nil")
+	}
+	sp.SetInt("n", 100)
+	sp.SetFloat("alpha", 0.95)
+	sp.SetStr("dataset", "adult")
+	sp.SetBool("weighted", true)
+
+	child := sp.Child("level")
+	child.SetInt("level", 2)
+	child.Event("pruned")
+	child.End()
+	sp.End()
+	sp.End() // idempotent
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (child then parent)", len(spans))
+	}
+	if spans[0].Name != "level" || spans[1].Name != "run" {
+		t.Fatalf("finish order %q, %q; want level, run", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent %d != root id %d", spans[0].Parent, spans[1].ID)
+	}
+	if got := spans[1].AttrInt("n", -1); got != 100 {
+		t.Fatalf("attr n = %d, want 100", got)
+	}
+	if got := spans[1].AttrInt("weighted", -1); got != 1 {
+		t.Fatalf("attr weighted = %d, want 1", got)
+	}
+	if evs := spans[0].Events(); len(evs) != 1 || evs[0].Name != "pruned" {
+		t.Fatalf("child events = %v, want one 'pruned'", evs)
+	}
+}
+
+func TestNilSpanAndTracerAreInert(t *testing.T) {
+	sp := Start(nil, "run")
+	if sp != nil {
+		t.Fatal("Start(nil) must return a nil span")
+	}
+	// All of these must be no-ops, not panics.
+	sp.SetInt("k", 1)
+	sp.SetFloat("f", 1)
+	sp.SetStr("s", "x")
+	sp.SetBool("b", true)
+	sp.Event("e")
+	child := sp.Child("c")
+	if child != nil {
+		t.Fatal("nil span Child must be nil")
+	}
+	child.End()
+	sp.End()
+	if sp.Attrs() != nil || sp.Events() != nil {
+		t.Fatal("nil span must have no attrs or events")
+	}
+	if got := sp.AttrInt("k", 7); got != 7 {
+		t.Fatalf("nil span AttrInt = %d, want default 7", got)
+	}
+}
+
+// TestNilObserverZeroAlloc is the allocation-free contract of the off
+// switch: span, counter, gauge and histogram operations on nil handles — the
+// exact calls the instrumented hot paths make — must not allocate at all.
+func TestNilObserverZeroAlloc(t *testing.T) {
+	var tr Tracer
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := Start(tr, "eval")
+		sp.SetInt("candidates", 512)
+		sp.SetFloat("seconds", 0.25)
+		sp.Event("hedge")
+		child := sp.Child("rpc")
+		child.End()
+		sp.End()
+		c.Add(512)
+		c.Inc()
+		g.Set(3)
+		g.Add(-1)
+		h.Observe(0.25)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-observer path allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestContextCarriesSpan(t *testing.T) {
+	ctx := context.Background()
+	if got := FromContext(ctx); got != nil {
+		t.Fatal("empty context must carry no span")
+	}
+	if got := ContextWith(ctx, nil); got != ctx {
+		t.Fatal("attaching a nil span must return the context unchanged")
+	}
+	tr := NewJSONTracer()
+	sp := Start(tr, "run")
+	ctx2 := ContextWith(ctx, sp)
+	if got := FromContext(ctx2); got != sp {
+		t.Fatal("context round-trip lost the span")
+	}
+}
+
+func TestJSONTracerBound(t *testing.T) {
+	tr := NewJSONTracer()
+	tr.max = 2
+	for i := 0; i < 5; i++ {
+		Start(tr, "s").End()
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("bounded tracer kept %d spans, want 2", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset must clear spans and the drop counter")
+	}
+}
+
+func TestJSONTracerWriteJSON(t *testing.T) {
+	tr := NewJSONTracer()
+	sp := Start(tr, "run")
+	sp.SetInt("n", 42)
+	child := sp.Child("level")
+	child.Event("checkpoint")
+	time.Sleep(time.Millisecond)
+	child.End()
+	sp.End()
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		SchemaVersion int `json:"schema_version"`
+		Spans         []struct {
+			ID     uint64         `json:"id"`
+			Parent uint64         `json:"parent"`
+			Name   string         `json:"name"`
+			DurUS  int64          `json:"dur_us"`
+			Attrs  map[string]any `json:"attrs"`
+			Events []struct {
+				Name string `json:"name"`
+			} `json:"events"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.SchemaVersion != 1 {
+		t.Fatalf("schema_version = %d, want 1", doc.SchemaVersion)
+	}
+	if len(doc.Spans) != 2 {
+		t.Fatalf("dump has %d spans, want 2", len(doc.Spans))
+	}
+	// Start-ordered: root first even though it finished last.
+	if doc.Spans[0].Name != "run" {
+		t.Fatalf("first span %q, want run (start order)", doc.Spans[0].Name)
+	}
+	if doc.Spans[1].Parent != doc.Spans[0].ID {
+		t.Fatal("child span lost its parent link in the dump")
+	}
+	if got, ok := doc.Spans[0].Attrs["n"].(float64); !ok || got != 42 {
+		t.Fatalf("attr n = %v, want 42", doc.Spans[0].Attrs["n"])
+	}
+	if len(doc.Spans[1].Events) != 1 || doc.Spans[1].Events[0].Name != "checkpoint" {
+		t.Fatalf("child events in dump = %v", doc.Spans[1].Events)
+	}
+	if doc.Spans[1].DurUS < 900 {
+		t.Fatalf("child duration %dus, want >= ~1ms", doc.Spans[1].DurUS)
+	}
+}
+
+func TestRegistrySemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.")
+	c.Add(3)
+	if again := r.Counter("requests_total", "ignored"); again != c {
+		t.Fatal("Counter must be get-or-create by name")
+	}
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+
+	g := r.Gauge("queue_depth", "Current depth.")
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %v, want 3", g.Value())
+	}
+
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+	if h.Count() != 3 {
+		t.Fatalf("histogram count = %d, want 3", h.Count())
+	}
+	if got := h.Sum(); got != 10.55 {
+		t.Fatalf("histogram sum = %v, want 10.55", got)
+	}
+	if h.counts[0].Load() != 1 || h.counts[1].Load() != 1 || h.counts[2].Load() != 1 {
+		t.Fatal("observations landed in the wrong buckets")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("requests_total", "wrong kind")
+}
+
+func TestNilRegistryHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must resolve nil handles")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "{}" {
+		t.Fatalf("nil registry JSON = %q, want {}", b.String())
+	}
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2})
+	h.Observe(1) // le="1" bucket, Prometheus semantics
+	if h.counts[0].Load() != 1 {
+		t.Fatal("observation equal to a bound must land in that bucket")
+	}
+}

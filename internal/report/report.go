@@ -74,40 +74,8 @@ func Generate(w io.Writer, ds *frame.Dataset, e []float64, opt Options) error {
 	fmt.Fprintf(w, "- mean: %.4f\n- median: %.4f\n- p95: %.4f\n- max: %.4f\n- rows with zero error: %.1f%%\n\n",
 		stats.mean, stats.median, stats.p95, stats.max, 100*stats.zeroFrac)
 
-	// Top slices.
-	fmt.Fprintf(w, "## Problematic slices (SliceLine, alpha=%.2f, sigma=%d, L<=%d)\n\n",
-		res.Alpha, res.Sigma, opt.MaxLevel)
-	if len(res.TopK) == 0 {
-		fmt.Fprintf(w, "No slice scores above 0: the model's errors are not concentrated in any sufficiently large subgroup.\n\n")
-	}
-	for i, s := range res.TopK {
-		fmt.Fprintf(w, "### #%d score %.4f\n\n", i+1, s.Score)
-		fmt.Fprintf(w, "- predicates: %s\n", predString(s))
-		fmt.Fprintf(w, "- size: %d rows (%.1f%% of data)\n", s.Size, 100*float64(s.Size)/float64(ds.NumRows()))
-		lift := 0.0
-		if res.AvgError > 0 {
-			lift = s.AvgError / res.AvgError
-		}
-		fmt.Fprintf(w, "- average error: %.4f (%.1fx the overall %.4f)\n", s.AvgError, lift, res.AvgError)
-		fmt.Fprintf(w, "- maximum tuple error: %.4f\n", s.MaxError)
-		rows, err := core.SliceRows(ds, s)
-		if err == nil {
-			k := opt.SampleRows
-			if k > len(rows) {
-				k = len(rows)
-			}
-			fmt.Fprintf(w, "- example rows: %v\n", rows[:k])
-		}
-		fmt.Fprintln(w)
-	}
-
-	// Enumeration statistics.
-	fmt.Fprintf(w, "## Enumeration\n\n")
-	fmt.Fprintf(w, "| level | candidates | valid | pruned |\n|---|---|---|---|\n")
-	for _, ls := range res.Levels {
-		fmt.Fprintf(w, "| %d | %d | %d | %d |\n", ls.Level, ls.Candidates, ls.Valid, ls.Pruned)
-	}
-	fmt.Fprintf(w, "\nTotal: %d candidates evaluated in %v.\n\n", res.TotalCandidates(), res.Elapsed.Round(1e6))
+	writeSlices(w, ds, res, opt)
+	writeEnumeration(w, res)
 
 	if opt.IncludeTree {
 		tree, err := baseline.TrainErrorTree(ds, e, baseline.TreeConfig{MaxDepth: opt.MaxLevel})
@@ -126,6 +94,69 @@ func Generate(w io.Writer, ds *frame.Dataset, e []float64, opt Options) error {
 		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// GenerateFromResult renders a report from a previously saved enumeration
+// result — the versioned JSON document written by `sliceline -json` — without
+// re-running slice finding or needing the dataset. Sections that require the
+// raw rows (dataset summary, error statistics, per-slice example rows, the
+// error-tree partition) are omitted; the top-K slices and enumeration
+// statistics are rendered in full.
+func GenerateFromResult(w io.Writer, name string, res *core.Result, opt Options) error {
+	opt = opt.withDefaults()
+	if name == "" {
+		name = "(stored result)"
+	}
+	fmt.Fprintf(w, "# Model debugging report: %s\n\n", name)
+	fmt.Fprintf(w, "## Stored result\n\n")
+	fmt.Fprintf(w, "- rows: %d\n- overall average error: %.4f\n- enumeration time: %v\n\n",
+		res.N, res.AvgError, res.Elapsed.Round(1e6))
+	writeSlices(w, nil, res, opt)
+	writeEnumeration(w, res)
+	return nil
+}
+
+// writeSlices renders the top-K section. ds may be nil (result-only reports),
+// in which case the per-slice example rows are skipped.
+func writeSlices(w io.Writer, ds *frame.Dataset, res *core.Result, opt Options) {
+	maxLevel := opt.MaxLevel
+	fmt.Fprintf(w, "## Problematic slices (SliceLine, alpha=%.2f, sigma=%d, L<=%d)\n\n",
+		res.Alpha, res.Sigma, maxLevel)
+	if len(res.TopK) == 0 {
+		fmt.Fprintf(w, "No slice scores above 0: the model's errors are not concentrated in any sufficiently large subgroup.\n\n")
+	}
+	for i, s := range res.TopK {
+		fmt.Fprintf(w, "### #%d score %.4f\n\n", i+1, s.Score)
+		fmt.Fprintf(w, "- predicates: %s\n", predString(s))
+		fmt.Fprintf(w, "- size: %d rows (%.1f%% of data)\n", s.Size, 100*float64(s.Size)/float64(res.N))
+		lift := 0.0
+		if res.AvgError > 0 {
+			lift = s.AvgError / res.AvgError
+		}
+		fmt.Fprintf(w, "- average error: %.4f (%.1fx the overall %.4f)\n", s.AvgError, lift, res.AvgError)
+		fmt.Fprintf(w, "- maximum tuple error: %.4f\n", s.MaxError)
+		if ds != nil {
+			rows, err := core.SliceRows(ds, s)
+			if err == nil {
+				k := opt.SampleRows
+				if k > len(rows) {
+					k = len(rows)
+				}
+				fmt.Fprintf(w, "- example rows: %v\n", rows[:k])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// writeEnumeration renders the per-level enumeration statistics table.
+func writeEnumeration(w io.Writer, res *core.Result) {
+	fmt.Fprintf(w, "## Enumeration\n\n")
+	fmt.Fprintf(w, "| level | candidates | valid | pruned |\n|---|---|---|---|\n")
+	for _, ls := range res.Levels {
+		fmt.Fprintf(w, "| %d | %d | %d | %d |\n", ls.Level, ls.Candidates, ls.Valid, ls.Pruned)
+	}
+	fmt.Fprintf(w, "\nTotal: %d candidates evaluated in %v.\n\n", res.TotalCandidates(), res.Elapsed.Round(1e6))
 }
 
 func predString(s core.Slice) string {

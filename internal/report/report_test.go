@@ -2,10 +2,12 @@ package report
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"sliceline/internal/core"
 	"sliceline/internal/frame"
 )
 
@@ -88,6 +90,45 @@ func TestGenerateNoProblematicSlices(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "No slice scores above 0") {
 		t.Errorf("expected empty-result message:\n%s", buf.String())
+	}
+}
+
+func TestGenerateFromResultJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds, e := plantedDataset(rng, 2000)
+	res, err := core.Run(ds, e, core.Config{K: 3, Sigma: 20, Alpha: 0.95, MaxLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored core.Result
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := GenerateFromResult(&buf, "planted", &restored, Options{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Model debugging report: planted",
+		"## Stored result",
+		"## Problematic slices",
+		"region=south",
+		"plan=basic",
+		"## Enumeration",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("result-only report missing %q\n---\n%s", want, out)
+		}
+	}
+	for _, reject := range []string{"## Dataset", "## Model errors", "example rows", "Non-overlapping partition"} {
+		if strings.Contains(out, reject) {
+			t.Errorf("result-only report should not contain %q\n---\n%s", reject, out)
+		}
 	}
 }
 

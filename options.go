@@ -1,0 +1,128 @@
+package sliceline
+
+import (
+	"context"
+
+	"sliceline/internal/core"
+	"sliceline/internal/obs"
+)
+
+// Context-first API. RunContext and RunWeightedContext are the preferred
+// entry points for new code: they take a context for cancellation and
+// deadline propagation (honored between lattice levels and inside external
+// evaluators) and accept functional options layered over the Config struct.
+// The plain Run/RunWeighted remain supported and delegate here with
+// context.Background().
+
+// Option adjusts a Config. Options are applied in order after the struct
+// fields, so an option wins over the corresponding field when both are set.
+type Option func(*Config)
+
+// WithEvaluator delegates slice evaluation, e.g. to a distributed cluster.
+func WithEvaluator(e ExternalEvaluator) Option {
+	return func(c *Config) { c.Evaluator = e }
+}
+
+// WithTracer streams spans for the run, every lattice level, every
+// evaluation call, and (through evaluators that support it) every worker RPC
+// to t. Use NewJSONTracer to collect spans for a JSON dump.
+func WithTracer(t Tracer) Option {
+	return func(c *Config) { c.Tracer = t }
+}
+
+// WithMetrics records enumeration counters, gauges and latency histograms
+// into m. Use NewMetrics to create a registry and its WritePrometheus /
+// WriteJSON methods (or obs.Handler via the binaries) to export it.
+func WithMetrics(m *Metrics) Option {
+	return func(c *Config) { c.Metrics = m }
+}
+
+// WithCheckpoint persists enumeration state to path after every completed
+// lattice level.
+func WithCheckpoint(path string) Option {
+	return func(c *Config) { c.CheckpointPath = path }
+}
+
+// WithResume persists enumeration state to path and, if the file already
+// holds a compatible checkpoint, resumes from its last completed level.
+func WithResume(path string) Option {
+	return func(c *Config) { c.CheckpointPath = path; c.Resume = true }
+}
+
+// WithMaxLevel caps the lattice depth.
+func WithMaxLevel(l int) Option {
+	return func(c *Config) { c.MaxLevel = l }
+}
+
+// WithOnLevel registers a per-level progress callback.
+func WithOnLevel(fn func(LevelStats)) Option {
+	return func(c *Config) { c.OnLevel = fn }
+}
+
+func applyOptions(cfg Config, opts []Option) Config {
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// RunContext executes the SliceLine enumeration with a caller-supplied
+// context. Cancellation is honored between lattice levels and propagated
+// into external evaluators, so a cancelled run aborts in-flight distributed
+// work instead of waiting for the level to finish.
+func RunContext(ctx context.Context, ds *Dataset, e []float64, cfg Config, opts ...Option) (*Result, error) {
+	return core.RunContext(ctx, ds, e, applyOptions(cfg, opts))
+}
+
+// RunWeightedContext is RunContext with per-row weights.
+func RunWeightedContext(ctx context.Context, ds *Dataset, e, w []float64, cfg Config, opts ...Option) (*Result, error) {
+	return core.RunWeightedContext(ctx, ds, e, w, applyOptions(cfg, opts))
+}
+
+// Observability types, re-exported so callers can implement hooks against
+// the public package without importing internal paths.
+type (
+	// Tracer receives spans; implement it to bridge SliceLine tracing into
+	// your own telemetry, or use NewJSONTracer for a collecting tracer.
+	Tracer = obs.Tracer
+	// Span is one timed operation with typed attributes and events. All
+	// methods are no-ops on a nil *Span, so custom Tracer implementations
+	// can selectively drop spans at zero cost.
+	Span = obs.Span
+	// JSONTracer collects finished spans in memory and dumps them as JSON.
+	JSONTracer = obs.JSONTracer
+	// Metrics is a registry of counters, gauges and histograms with
+	// Prometheus-text and JSON exporters.
+	Metrics = obs.Registry
+
+	// ExternalEvaluator delegates candidate evaluation (see Config.Evaluator).
+	ExternalEvaluator = core.ExternalEvaluator
+)
+
+// NewJSONTracer returns a collecting tracer whose WriteJSON emits the span
+// dump the binaries' -trace flags produce.
+func NewJSONTracer() *JSONTracer { return obs.NewJSONTracer() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewSpan constructs a started span owned by tr; custom Tracer
+// implementations call it from their StartSpan method.
+func NewSpan(tr Tracer, name string) *Span { return obs.NewSpan(tr, name) }
+
+// ResultSchemaVersion is the schema_version of the JSON documents written by
+// Result.MarshalJSON (and the `sliceline -json` flag).
+const ResultSchemaVersion = core.ResultSchemaVersion
+
+// Typed validation sentinels, matchable with errors.Is on any error returned
+// by Run and its variants.
+var (
+	ErrBadAlpha          = core.ErrBadAlpha
+	ErrEmptyDataset      = core.ErrEmptyDataset
+	ErrNoFeatures        = core.ErrNoFeatures
+	ErrBadErrorVector    = core.ErrBadErrorVector
+	ErrBadWeight         = core.ErrBadWeight
+	ErrWeightedEvaluator = core.ErrWeightedEvaluator
+)

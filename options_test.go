@@ -1,0 +1,134 @@
+package sliceline_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"sliceline"
+)
+
+// optDataset builds a small deterministic dataset through the public API.
+func optDataset(t *testing.T) (*sliceline.Dataset, []float64) {
+	t.Helper()
+	csv := strings.NewReader(
+		"color,shape,y\n" +
+			strings.Repeat("red,circle,1\nred,square,0\nblue,circle,0\nblue,square,1\ngreen,circle,1\n", 40))
+	ds, err := sliceline.DatasetFromCSV(csv, "y", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := sliceline.TrainAndScore(ds, sliceline.TaskClassification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, e
+}
+
+// TestRunContextMatchesRun: the context-first entry point with options must
+// produce the same result as the struct-only form.
+func TestRunContextMatchesRun(t *testing.T) {
+	ds, e := optDataset(t)
+	cfg := sliceline.Config{K: 3, Sigma: 5, Alpha: 0.9}
+	want, err := sliceline.Run(ds, e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sliceline.RunContext(context.Background(), ds, e, sliceline.Config{K: 3, Sigma: 5, Alpha: 0.9},
+		sliceline.WithMaxLevel(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.TopK) != len(want.TopK) {
+		t.Fatalf("top-K size %d vs %d", len(got.TopK), len(want.TopK))
+	}
+	for i := range want.TopK {
+		if got.TopK[i].Score != want.TopK[i].Score || got.TopK[i].Size != want.TopK[i].Size {
+			t.Fatalf("slice %d differs between Run and RunContext", i)
+		}
+	}
+}
+
+// TestRunContextCancellation: a pre-cancelled context must abort the run.
+func TestRunContextCancellation(t *testing.T) {
+	ds, e := optDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sliceline.RunContext(ctx, ds, e, sliceline.Config{K: 3, Sigma: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestOptionsWireObservability: WithTracer and WithMetrics must thread the
+// observers through to the enumeration.
+func TestOptionsWireObservability(t *testing.T) {
+	ds, e := optDataset(t)
+	tr := sliceline.NewJSONTracer()
+	reg := sliceline.NewMetrics()
+	res, err := sliceline.RunContext(context.Background(), ds, e, sliceline.Config{K: 3, Sigma: 5},
+		sliceline.WithTracer(tr), sliceline.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawRun, sawLevel bool
+	for _, sp := range tr.Spans() {
+		switch sp.Name {
+		case "core.run":
+			sawRun = true
+		case "core.level":
+			sawLevel = true
+		}
+	}
+	if !sawRun || !sawLevel {
+		t.Fatalf("tracer missing run/level spans (run=%v level=%v)", sawRun, sawLevel)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "sl_core_runs_total 1") {
+		t.Fatalf("metrics registry not wired:\n%s", b.String())
+	}
+	_ = res
+}
+
+// TestWithResume: checkpoint options must round-trip through a resumed run.
+func TestWithResume(t *testing.T) {
+	ds, e := optDataset(t)
+	path := t.TempDir() + "/run.ck"
+	first, err := sliceline.RunContext(context.Background(), ds, e, sliceline.Config{K: 3, Sigma: 5},
+		sliceline.WithCheckpoint(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sliceline.RunContext(context.Background(), ds, e, sliceline.Config{K: 3, Sigma: 5},
+		sliceline.WithResume(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.TopK) != len(first.TopK) {
+		t.Fatalf("resumed top-K size %d vs %d", len(resumed.TopK), len(first.TopK))
+	}
+	for i := range first.TopK {
+		if resumed.TopK[i].Score != first.TopK[i].Score {
+			t.Fatalf("resumed slice %d differs", i)
+		}
+	}
+}
+
+// TestPublicSentinels: the re-exported sentinels must match what Run returns.
+func TestPublicSentinels(t *testing.T) {
+	ds, e := optDataset(t)
+	if _, err := sliceline.Run(ds, e[:3], sliceline.Config{}); !errors.Is(err, sliceline.ErrBadErrorVector) {
+		t.Fatalf("got %v, want ErrBadErrorVector", err)
+	}
+	if _, err := sliceline.Run(ds, e, sliceline.Config{Alpha: math.NaN()}); !errors.Is(err, sliceline.ErrBadAlpha) {
+		t.Fatalf("got %v, want ErrBadAlpha", err)
+	}
+	if err := (sliceline.Config{K: 2, Alpha: 0.5}).Validate(); err != nil {
+		t.Fatalf("Validate on a valid config: %v", err)
+	}
+}

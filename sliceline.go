@@ -23,6 +23,7 @@
 package sliceline
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -53,16 +54,18 @@ type (
 	Feature = frame.Feature
 )
 
-// Run executes the SliceLine enumeration on a dataset and error vector.
+// Run executes the SliceLine enumeration on a dataset and error vector. It
+// delegates to RunContext with context.Background(); new code that needs
+// cancellation, tracing or metrics should call RunContext directly.
 func Run(ds *Dataset, e []float64, cfg Config) (*Result, error) {
-	return core.Run(ds, e, cfg)
+	return RunContext(context.Background(), ds, e, cfg)
 }
 
 // RunWeighted is Run with per-row weights: row i counts as w[i] identical
 // rows in every size and error aggregate, so deduplicated datasets with
 // multiplicities produce exactly the same top-K as their expanded form.
 func RunWeighted(ds *Dataset, e, w []float64, cfg Config) (*Result, error) {
-	return core.RunWeighted(ds, e, w, cfg)
+	return RunWeightedContext(context.Background(), ds, e, w, cfg)
 }
 
 // BruteForce exhaustively enumerates the full slice lattice; it is only
