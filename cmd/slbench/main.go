@@ -18,17 +18,24 @@ import (
 
 	"sliceline/internal/bench"
 	"sliceline/internal/obs"
+	"sliceline/internal/version"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
-		full    = flag.Bool("full", false, "run at full (DESIGN.md) scales instead of quick scales")
-		seed    = flag.Int64("seed", 1, "dataset generation seed")
-		list    = flag.Bool("list", false, "list available experiments")
-		spanOut = flag.String("span-out", "", "write a JSON span dump (per-level timing breakdowns per experiment) to this file")
+		exp         = flag.String("exp", "", "experiment id to run, or 'all'")
+		full        = flag.Bool("full", false, "run at full (DESIGN.md) scales instead of quick scales")
+		seed        = flag.Int64("seed", 1, "dataset generation seed")
+		list        = flag.Bool("list", false, "list available experiments")
+		spanOut     = flag.String("span-out", "", "write a JSON span dump (per-level timing breakdowns per experiment) to this file")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("slbench", version.String())
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

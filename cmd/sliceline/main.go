@@ -30,6 +30,7 @@ import (
 	"sliceline/internal/frame"
 	"sliceline/internal/ml"
 	"sliceline/internal/obs"
+	"sliceline/internal/version"
 )
 
 func main() {
@@ -64,9 +65,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hedgeAfter  = fs.Duration("hedge-after", 0, "speculatively re-execute a partition stuck longer than this (0 = off)")
 		hedgeMult   = fs.Float64("hedge-mult", 0, "adaptive hedging: straggler threshold as a multiple of the level median (0 = off)")
 		heartbeat   = fs.Duration("heartbeat", 0, "probe worker liveness at this interval between levels (0 = off)")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, "sliceline", version.String())
+		return 0
 	}
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(stderr, "sliceline: -resume requires -checkpoint")

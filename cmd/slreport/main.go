@@ -22,6 +22,7 @@ import (
 	"sliceline/internal/frame"
 	"sliceline/internal/ml"
 	"sliceline/internal/report"
+	"sliceline/internal/version"
 )
 
 func main() {
@@ -38,8 +39,15 @@ func main() {
 		tree     = flag.Bool("tree", true, "include the decision-tree partition section")
 		seed     = flag.Int64("seed", 1, "synthetic dataset seed")
 		result   = flag.String("result", "", "render from a stored `sliceline -json` result file instead of re-running")
+
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("slreport", version.String())
+		return
+	}
 
 	if *result != "" {
 		if err := fromResult(*result, *k, *maxLevel); err != nil {

@@ -26,13 +26,19 @@ import (
 
 	"sliceline/internal/dist"
 	"sliceline/internal/obs"
+	"sliceline/internal/version"
 )
 
 func main() {
 	addr := flag.String("addr", ":7071", "listen address (host:port)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight calls on SIGTERM/SIGINT")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("slworker", version.String())
+		return
+	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,62 @@
+package datasets
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"sliceline/internal/frame"
+)
+
+// Loaded bundles a CSV-loaded dataset with its one-hot encoding, computed
+// exactly once at load time — the same invariant the slserve dataset
+// registry maintains for uploads.
+type Loaded struct {
+	DS  *frame.Dataset
+	Enc *frame.Encoding
+}
+
+// LoadCSV reads a CSV stream (header row required) into an encoded dataset:
+// categorical columns are recoded, numeric columns are binned into nBins
+// equi-width bins (<= 0 selects 10), the named label column (optional, "")
+// is extracted as DS.Y, and columns in drop are excluded from the features.
+// Loading is deterministic: identical bytes always produce an identical
+// encoding and therefore an identical core data signature.
+func LoadCSV(r io.Reader, label string, nBins int, drop ...string) (*Loaded, error) {
+	if nBins <= 0 {
+		nBins = 10
+	}
+	f, err := frame.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := frame.FromFrame(f, label, nBins, drop...)
+	if err != nil {
+		return nil, err
+	}
+	if ds.NumRows() == 0 {
+		return nil, fmt.Errorf("datasets: csv has no data rows")
+	}
+	if ds.NumFeatures() == 0 {
+		return nil, fmt.Errorf("datasets: csv has no feature columns")
+	}
+	enc, err := frame.OneHot(ds)
+	if err != nil {
+		return nil, err
+	}
+	return &Loaded{DS: ds, Enc: enc}, nil
+}
+
+// LoadCSVFile is LoadCSV over a file path.
+func LoadCSVFile(path, label string, nBins int, drop ...string) (*Loaded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: %w", err)
+	}
+	defer f.Close()
+	l, err := LoadCSV(f, label, nBins, drop...)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: loading %s: %w", path, err)
+	}
+	return l, nil
+}

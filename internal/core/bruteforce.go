@@ -18,7 +18,7 @@ func BruteForce(ds *frame.Dataset, e []float64, cfg Config) ([]Slice, error) {
 	if len(e) != n {
 		return nil, fmt.Errorf("core: error vector length %d vs %d rows", len(e), n)
 	}
-	cfg = cfg.withDefaults(n)
+	cfg = cfg.WithDefaults(n)
 	maxL := ds.NumFeatures()
 	if cfg.MaxLevel > 0 && cfg.MaxLevel < maxL {
 		maxL = cfg.MaxLevel

@@ -1,16 +1,11 @@
 package core
 
 import (
-	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io/fs"
-	"math"
 	"os"
-
-	"sliceline/internal/frame"
 )
 
 // checkpointVersion guards the on-disk layout; a mismatch refuses to resume.
@@ -140,62 +135,4 @@ func (c *checkpointer) load(tk *topK, frontier *level, res *Result) (int, error)
 	res.Levels = st.Levels
 	res.Truncated = st.Truncated
 	return st.Level, nil
-}
-
-// checkpointSig fingerprints everything the enumeration result depends on:
-// the one-hot matrix, the error and weight vectors, and the configuration
-// switches that alter which candidates are generated, evaluated, or how
-// their statistics are summed. MaxLevel is deliberately excluded — resuming
-// with a deeper level cap legitimately extends a shallower run, because the
-// per-level state is identical up to the old cap. BlockSize and the
-// evaluator are excluded too: resuming under a different execution plan is
-// supported, with the usual cross-plan last-ULP caveat on summed statistics.
-func checkpointSig(enc *frame.Encoding, e, w []float64, cfg Config) uint64 {
-	h := fnv.New64a()
-	u64 := func(v uint64) {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], v)
-		h.Write(b[:])
-	}
-	f64 := func(v float64) { u64(math.Float64bits(v)) }
-	flag := func(v bool) {
-		if v {
-			u64(1)
-		} else {
-			u64(0)
-		}
-	}
-
-	u64(uint64(enc.X.Rows()))
-	u64(uint64(enc.X.Cols()))
-	rowPtr, colIdx, val := enc.X.Components()
-	for _, v := range rowPtr {
-		u64(uint64(v))
-	}
-	for _, v := range colIdx {
-		u64(uint64(v))
-	}
-	for _, v := range val {
-		f64(v)
-	}
-	u64(uint64(len(e)))
-	for _, v := range e {
-		f64(v)
-	}
-	u64(uint64(len(w)))
-	for _, v := range w {
-		f64(v)
-	}
-
-	// cfg has defaults applied by the caller, so Sigma/Alpha/K are resolved.
-	u64(uint64(cfg.K))
-	u64(uint64(cfg.Sigma))
-	f64(cfg.Alpha)
-	u64(uint64(cfg.MaxCandidatesPerLevel))
-	flag(cfg.DisableSizePruning)
-	flag(cfg.DisableScorePruning)
-	flag(cfg.DisableParentHandling)
-	flag(cfg.DisableDedup)
-	flag(cfg.PriorityEnumeration)
-	return h.Sum64()
 }

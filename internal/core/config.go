@@ -105,7 +105,13 @@ type Config struct {
 	Metrics *obs.Registry
 }
 
-func (c Config) withDefaults(n int) Config {
+// WithDefaults resolves the zero-value fields to their defaults for a
+// dataset of n (weighted) rows, the resolution Run applies internally. It is
+// exported for callers that need the resolved parameters ahead of a run —
+// notably ConfigSignature consumers like the server's result cache, where an
+// explicit K=4 and a defaulted K must key identically. Applying it twice is
+// a no-op.
+func (c Config) WithDefaults(n int) Config {
 	if c.K <= 0 {
 		c.K = DefaultK
 	}

@@ -34,7 +34,7 @@ func evalAllocFixture(tb testing.TB) (*state, *level) {
 			}
 		}
 	}
-	cfg := Config{K: 4, Sigma: 10, Alpha: 0.95}.withDefaults(len(e))
+	cfg := Config{K: 4, Sigma: 10, Alpha: 0.95}.WithDefaults(len(e))
 	st := &state{
 		cfg: cfg,
 		sc:  newScorer(len(e), e, cfg.Alpha, cfg.Sigma),

@@ -38,7 +38,7 @@ func RunReference(ds *frame.Dataset, e []float64, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: negative error %v at row %d", v, i)
 		}
 	}
-	cfg = cfg.withDefaults(n)
+	cfg = cfg.WithDefaults(n)
 	start := time.Now()
 	m := ds.NumFeatures()
 

@@ -52,7 +52,7 @@ func TestSliceStringFormat(t *testing.T) {
 }
 
 func TestConfigAlphaClamped(t *testing.T) {
-	cfg := Config{Alpha: 5}.withDefaults(100)
+	cfg := Config{Alpha: 5}.WithDefaults(100)
 	if cfg.Alpha != 1 {
 		t.Fatalf("alpha = %v, want clamped to 1", cfg.Alpha)
 	}

@@ -124,21 +124,29 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 	}
 	var sc scorer
 	if w == nil {
-		cfg = cfg.withDefaults(n)
+		cfg = cfg.WithDefaults(n)
 		sc = newScorer(n, e, cfg.Alpha, cfg.Sigma)
 	} else {
 		totalW := 0.0
 		for _, v := range w {
 			totalW += v
 		}
-		cfg = cfg.withDefaults(int(totalW))
+		cfg = cfg.WithDefaults(int(totalW))
 		sc = newWeightedScorer(e, w, cfg.Alpha, cfg.Sigma)
 	}
 	start := time.Now()
 
 	st := &state{cfg: cfg, sc: sc, e: e, w: w, m: enc.NumFeatures(), ob: newCoreObs(cfg.Metrics)}
 	st.ob.runs.Inc()
-	runSpan := obs.Start(cfg.Tracer, "core.run")
+	// When the caller's context already carries a span (e.g. the server's
+	// per-job span), the run parents under it so one job yields one span
+	// tree; otherwise the run starts a root span on the configured tracer.
+	var runSpan *obs.Span
+	if parent := obs.FromContext(ctx); parent != nil {
+		runSpan = parent.Child("core.run")
+	} else {
+		runSpan = obs.Start(cfg.Tracer, "core.run")
+	}
 	runSpan.SetInt("rows", int64(n))
 	runSpan.SetInt("features", int64(st.m))
 	runSpan.SetInt("onehot_width", int64(enc.Width()))
@@ -222,7 +230,7 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 
 	var ck *checkpointer
 	if cfg.CheckpointPath != "" {
-		ck = &checkpointer{path: cfg.CheckpointPath, sig: checkpointSig(enc, e, w, cfg)}
+		ck = &checkpointer{path: cfg.CheckpointPath, sig: Signature(enc, e, w, cfg)}
 	}
 	resumedLevel := 0
 	if cfg.Resume && ck != nil {

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"sliceline/internal/core"
+)
+
+// This file pins the service's JSON wire types. Job results reuse the
+// versioned interchange form of internal/core/json.go; everything here is
+// the thin envelope around it (dataset descriptors, job specs, statuses).
+
+// Evaluator selector values accepted in a JobSpec.
+const (
+	// EvalAuto picks distributed evaluation when the server was started
+	// with workers, local fused evaluation otherwise.
+	EvalAuto = ""
+	// EvalLocal forces in-process fused evaluation.
+	EvalLocal = "local"
+	// EvalDist forces distributed evaluation; submitting it to a server
+	// without configured workers is a validation error.
+	EvalDist = "dist"
+)
+
+// maxJobSpecBytes bounds the POST /v1/jobs body. Specs are a dataset
+// reference plus a handful of scalars; anything bigger is malformed.
+const maxJobSpecBytes = 1 << 20
+
+// JobConfig is the user-settable subset of core.Config carried in a job
+// spec. Zero values select the library defaults, exactly like core.Config.
+type JobConfig struct {
+	K                     int     `json:"k,omitempty"`
+	Sigma                 int     `json:"sigma,omitempty"`
+	Alpha                 float64 `json:"alpha,omitempty"`
+	MaxLevel              int     `json:"max_level,omitempty"`
+	BlockSize             int     `json:"block_size,omitempty"`
+	MaxCandidatesPerLevel int     `json:"max_candidates_per_level,omitempty"`
+	PriorityEnumeration   bool    `json:"priority,omitempty"`
+	DenseEval             bool    `json:"dense,omitempty"`
+}
+
+// ToCore converts the wire config into a core.Config (hooks unset).
+func (jc JobConfig) ToCore() core.Config {
+	return core.Config{
+		K:                     jc.K,
+		Sigma:                 jc.Sigma,
+		Alpha:                 jc.Alpha,
+		MaxLevel:              jc.MaxLevel,
+		BlockSize:             jc.BlockSize,
+		MaxCandidatesPerLevel: jc.MaxCandidatesPerLevel,
+		PriorityEnumeration:   jc.PriorityEnumeration,
+		DenseEval:             jc.DenseEval,
+	}
+}
+
+// JobSpec is the request body of POST /v1/jobs.
+type JobSpec struct {
+	// Dataset references a registered dataset by id (POST /v1/datasets).
+	Dataset string `json:"dataset"`
+	// Config holds the SliceLine parameters for this job.
+	Config JobConfig `json:"config"`
+	// Evaluator selects where candidates are evaluated: "" (auto),
+	// "local", or "dist".
+	Evaluator string `json:"evaluator,omitempty"`
+	// TimeoutMS, when > 0, bounds the job's wall-clock execution; an
+	// exceeded deadline fails the job. 0 inherits the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ErrBadJobSpec wraps every job-spec validation failure, matchable with
+// errors.Is.
+var ErrBadJobSpec = errors.New("invalid job spec")
+
+// DecodeJobSpec strictly decodes and validates a job spec: unknown fields,
+// trailing garbage, out-of-range scalars and unknown evaluator selectors are
+// all rejected up front, so a job that is admitted never fails on a
+// malformed request. It is the surface the fuzz target drives.
+func DecodeJobSpec(r io.Reader) (JobSpec, error) {
+	var spec JobSpec
+	dec := json.NewDecoder(io.LimitReader(r, maxJobSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, fmt.Errorf("%w: %v", ErrBadJobSpec, err)
+	}
+	// A second Decode must hit EOF: reject trailing documents.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return spec, fmt.Errorf("%w: trailing data after job spec", ErrBadJobSpec)
+	}
+	return spec, spec.validate()
+}
+
+func (s JobSpec) validate() error {
+	if s.Dataset == "" {
+		return fmt.Errorf("%w: missing dataset reference", ErrBadJobSpec)
+	}
+	switch s.Evaluator {
+	case EvalAuto, EvalLocal, EvalDist:
+	default:
+		return fmt.Errorf("%w: unknown evaluator %q (want \"\", %q or %q)", ErrBadJobSpec, s.Evaluator, EvalLocal, EvalDist)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("%w: negative timeout_ms %d", ErrBadJobSpec, s.TimeoutMS)
+	}
+	if err := s.Config.ToCore().Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadJobSpec, err)
+	}
+	return nil
+}
+
+// DatasetInfo describes a registered dataset (responses of the /v1/datasets
+// endpoints).
+type DatasetInfo struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Rows        int    `json:"rows"`
+	Features    int    `json:"features"`
+	OneHotWidth int    `json:"onehot_width"`
+	Signature   string `json:"signature"` // hex FNV data signature
+	// Reused reports that the upload matched an already-registered
+	// dataset byte for byte and no new entry was created.
+	Reused bool `json:"reused,omitempty"`
+}
+
+// JobInfo describes a job (responses of the /v1/jobs endpoints). Result is
+// the versioned core result document, present only once the job is done.
+type JobInfo struct {
+	ID        string          `json:"id"`
+	Dataset   string          `json:"dataset"`
+	Status    string          `json:"status"`
+	Cached    bool            `json:"cached,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Evaluator string          `json:"evaluator,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// Healthz is the response of GET /v1/healthz.
+type Healthz struct {
+	Status    string         `json:"status"`
+	Version   string         `json:"version"`
+	Datasets  int            `json:"datasets"`
+	Jobs      map[string]int `json:"jobs"`
+	QueueLen  int            `json:"queue_len"`
+	QueueCap  int            `json:"queue_cap"`
+	Inflight  int            `json:"inflight"`
+	PoolSize  int            `json:"pool_size"`
+	Journal   bool           `json:"journal"`
+	DistAddrs []string       `json:"dist_workers,omitempty"`
+}
+
+// apiError is the uniform JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"sync"
+
+	"sliceline/internal/core"
+)
+
+// eventLog accumulates a job's per-level progress events and terminal state,
+// and lets any number of SSE subscribers replay the history and then follow
+// live updates. Broadcast is by channel close: every update closes the
+// current change channel and installs a fresh one, so a subscriber waits on
+// one channel receive with no per-subscriber bookkeeping (a subscriber that
+// disconnects simply stops reading).
+type eventLog struct {
+	mu       sync.Mutex
+	levels   []core.LevelStats
+	terminal string // "", or a terminal job status
+	errMsg   string
+	change   chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{change: make(chan struct{})}
+}
+
+// addLevel appends one completed lattice level and wakes subscribers. It is
+// wired into the run through core.Config.OnLevel.
+func (l *eventLog) addLevel(ls core.LevelStats) {
+	l.mu.Lock()
+	l.levels = append(l.levels, ls)
+	l.wake()
+	l.mu.Unlock()
+}
+
+// replay seeds the log with the levels of an already-complete result (cache
+// hits, journal re-serves) so late subscribers still see the full history.
+func (l *eventLog) replay(levels []core.LevelStats) {
+	l.mu.Lock()
+	l.levels = append([]core.LevelStats(nil), levels...)
+	l.wake()
+	l.mu.Unlock()
+}
+
+// finish records the terminal state and wakes subscribers one last time.
+func (l *eventLog) finish(status, errMsg string) {
+	l.mu.Lock()
+	if l.terminal == "" {
+		l.terminal = status
+		l.errMsg = errMsg
+	}
+	l.wake()
+	l.mu.Unlock()
+}
+
+// wake must be called with l.mu held.
+func (l *eventLog) wake() {
+	close(l.change)
+	l.change = make(chan struct{})
+}
+
+// next returns the levels at index >= from, the terminal status ("" while
+// running), and a channel that is closed on the next update. A subscriber
+// loops: drain new levels, stop on terminal, otherwise wait on the channel.
+func (l *eventLog) next(from int) (levels []core.LevelStats, terminal, errMsg string, wait <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < len(l.levels) {
+		levels = append([]core.LevelStats(nil), l.levels[from:]...)
+	}
+	return levels, l.terminal, l.errMsg, l.change
+}

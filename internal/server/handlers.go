@@ -1,0 +1,187 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"sliceline/internal/obs"
+	"sliceline/internal/version"
+)
+
+// maxDatasetBytes bounds an uploaded CSV body (64 MiB). Bigger corpora
+// belong on shared storage with a loader-side registration path.
+const maxDatasetBytes = 64 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	POST   /v1/datasets            register a CSV dataset (body: CSV)
+//	GET    /v1/datasets            list registered datasets
+//	GET    /v1/datasets/{id}       one dataset's descriptor
+//	POST   /v1/jobs                submit a job (body: JobSpec JSON)
+//	GET    /v1/jobs                list jobs
+//	GET    /v1/jobs/{id}           job status + result when done
+//	GET    /v1/jobs/{id}/events    SSE per-level progress stream
+//	DELETE /v1/jobs/{id}           cancel a job
+//	GET    /v1/healthz             liveness, version, pool/queue state
+//
+// plus the observability surface of internal/obs (/metrics, /metrics.json,
+// /debug/vars, /debug/pprof/) when the server has a metrics registry.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	if s.cfg.Metrics != nil {
+		om := obs.Handler(s.cfg.Metrics)
+		mux.Handle("/metrics", om)
+		mux.Handle("/metrics.json", om)
+		mux.Handle("/debug/", om)
+	}
+	return s.countRequests(mux)
+}
+
+// countRequests is the outermost middleware: one counter increment per
+// request.
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.ob.httpReqs.Inc()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// handleRegisterDataset implements POST /v1/datasets. The body is the CSV;
+// registration parameters ride the query string: name, label, task
+// (class|reg), err (precomputed error column), bins.
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opt := registerOptions{
+		Name:  q.Get("name"),
+		Label: q.Get("label"),
+		Task:  q.Get("task"),
+		Err:   q.Get("err"),
+	}
+	if b := q.Get("bins"); b != "" {
+		n, err := strconv.Atoi(b)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, errors.New("server: bins must be a positive integer"))
+			return
+		}
+		opt.Bins = n
+	}
+	entry, err := buildDataset(http.MaxBytesReader(w, r.Body, maxDatasetBytes), opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := s.registerDataset(entry)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	status := http.StatusCreated
+	if info.Reused {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	entries := s.reg.list()
+	out := make([]DatasetInfo, len(entries))
+	for i, d := range entries {
+		out[i] = d.info()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: no such dataset"))
+		return
+	}
+	writeJSON(w, http.StatusOK, d.info())
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	spec, err := DecodeJobSpec(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, status, err := s.submit(spec)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, j.info())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.listJobs()
+	out := make([]JobInfo, 0, len(jobs))
+	for _, j := range jobs {
+		info := j.info()
+		info.Result = nil // list view stays light; fetch one job for the result
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: no such job"))
+		return
+	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	byState := make(map[string]int)
+	for _, j := range s.listJobs() {
+		byState[string(j.currentState())]++
+	}
+	writeJSON(w, http.StatusOK, Healthz{
+		Status:    "ok",
+		Version:   version.String(),
+		Datasets:  s.reg.len(),
+		Jobs:      byState,
+		QueueLen:  len(s.queue),
+		QueueCap:  cap(s.queue),
+		Inflight:  int(s.ob.inflight.Value()),
+		PoolSize:  s.cfg.Pool,
+		Journal:   s.journal != nil,
+		DistAddrs: s.cfg.DistWorkers,
+	})
+}

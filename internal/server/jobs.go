@@ -1,0 +1,391 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sliceline/internal/core"
+	"sliceline/internal/dist"
+	"sliceline/internal/obs"
+)
+
+// jobState is a job's lifecycle position. Transitions are strictly
+// queued → running → {done, failed, cancelled}, except that a queued job
+// can jump straight to cancelled (DELETE before a worker picked it up) and
+// a cache hit is born done.
+type jobState string
+
+// Job lifecycle states as reported in JobInfo.Status.
+const (
+	jobQueued    jobState = "queued"
+	jobRunning   jobState = "running"
+	jobDone      jobState = "done"
+	jobFailed    jobState = "failed"
+	jobCancelled jobState = "cancelled"
+)
+
+func (s jobState) terminal() bool {
+	return s == jobDone || s == jobFailed || s == jobCancelled
+}
+
+// job is one slice-finding request moving through the pool.
+type job struct {
+	id      string
+	spec    JobSpec
+	ds      *datasetEntry
+	cfg     core.Config // resolved via WithDefaults; hooks unset
+	key     cacheKey
+	useDist bool
+	resume  bool // restored from the journal: resume from the checkpoint
+
+	// ctx is created at submission so DELETE can cancel a job that is
+	// still queued; the worker hands it to the enumeration.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	enqueued time.Time
+
+	mu         sync.Mutex
+	state      jobState
+	cached     bool
+	result     *core.Result
+	resultJSON []byte
+	errMsg     string
+
+	events *eventLog
+	done   chan struct{} // closed on terminal state
+}
+
+func (j *job) info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:      j.id,
+		Dataset: j.spec.Dataset,
+		Status:  string(j.state),
+		Cached:  j.cached,
+		Error:   j.errMsg,
+	}
+	if j.useDist {
+		info.Evaluator = EvalDist
+	} else {
+		info.Evaluator = EvalLocal
+	}
+	if j.state == jobDone {
+		info.Result = json.RawMessage(j.resultJSON)
+	}
+	return info
+}
+
+func (j *job) currentState() jobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// submit validates a spec against the registry, resolves its configuration,
+// consults the result cache, and either completes the job instantly (cache
+// hit), enqueues it, or rejects it. The returned HTTP status is 202 on
+// acceptance, 404/400/429/503 on the corresponding failures.
+func (s *Server) submit(spec JobSpec) (*job, int, error) {
+	ds, ok := s.reg.get(spec.Dataset)
+	if !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("server: unknown dataset %q", spec.Dataset)
+	}
+	useDist := spec.Evaluator == EvalDist ||
+		(spec.Evaluator == EvalAuto && len(s.cfg.DistWorkers) > 0)
+	if useDist && len(s.cfg.DistWorkers) == 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("server: job requests distributed evaluation but the server has no workers configured")
+	}
+
+	cfg := spec.Config.ToCore().WithDefaults(ds.DS.NumRows())
+	if err := cfg.Validate(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	j := &job{
+		spec:    spec,
+		ds:      ds,
+		cfg:     cfg,
+		key:     cacheKey{dataSig: ds.Sig, cfgSig: core.ConfigSignature(cfg), maxLevel: cfg.MaxLevel},
+		useDist: useDist,
+		state:   jobQueued,
+		events:  newEventLog(),
+		done:    make(chan struct{}),
+	}
+
+	// Result cache: an identical completed run answers without touching
+	// the pool (and without emitting any new core.run span).
+	if hit, ok := s.cache.get(j.key); ok {
+		j.id = s.newJobID()
+		j.cached = true
+		j.state = jobDone
+		j.result = hit.res
+		j.resultJSON = hit.json
+		j.events.replay(hit.res.Levels)
+		j.events.finish(string(jobDone), "")
+		close(j.done)
+		s.addJob(j)
+		s.ob.submitted.Inc()
+		s.ob.cacheHits.Inc()
+		s.ob.done.Inc()
+		if err := s.journal.saveJob(j); err != nil {
+			return j, http.StatusAccepted, nil // serving beats journaling; next save retries
+		}
+		return j, http.StatusAccepted, nil
+	}
+	s.ob.cacheMiss.Inc()
+
+	timeout := s.cfg.JobTimeout
+	if spec.TimeoutMS > 0 {
+		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		j.ctx, j.cancel = context.WithCancel(context.Background())
+	}
+
+	// Admission control. The queue send and the closed check share s.mu
+	// with Shutdown's close(s.queue), so a submission can never race a
+	// drain into a send-on-closed-channel panic.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		j.cancel()
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("server: draining, not accepting jobs")
+	}
+	j.id = s.newJobID()
+	j.enqueued = time.Now()
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		j.cancel()
+		s.ob.rejected.Inc()
+		return nil, http.StatusTooManyRequests, fmt.Errorf("server: job queue full (%d waiting); retry later", cap(s.queue))
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	s.ob.submitted.Inc()
+	s.ob.queueDepth.Add(1)
+	if err := s.journal.saveJob(j); err != nil {
+		// The job is already queued; journaling is best-effort per write
+		// (the terminal save will retry the file).
+		_ = err
+	}
+	return j, http.StatusAccepted, nil
+}
+
+func (s *Server) newJobID() string {
+	return fmt.Sprintf("job-%d", s.nextID.Add(1))
+}
+
+// addJob registers a job in the table without touching the queue (cache
+// hits, restored terminal jobs).
+func (s *Server) addJob(j *job) {
+	s.mu.Lock()
+	if j.id == "" {
+		j.id = s.newJobID()
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+}
+
+func (s *Server) getJob(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) listJobs() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// cancelJob implements DELETE /v1/jobs/{id}: it cancels the job's context
+// and, for still-queued jobs, finalizes immediately (the worker skips
+// cancelled jobs at dequeue, so the slot is never consumed). Cancelling a
+// terminal job is a no-op that reports the existing state.
+func (s *Server) cancelJob(j *job) jobState {
+	j.mu.Lock()
+	st := j.state
+	if st.terminal() {
+		j.mu.Unlock()
+		return st
+	}
+	if st == jobQueued {
+		j.state = jobCancelled
+		j.errMsg = "cancelled while queued"
+		j.mu.Unlock()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.events.finish(string(jobCancelled), "cancelled while queued")
+		close(j.done)
+		s.ob.cancelled.Inc()
+		s.ob.queueDepth.Add(-1)
+		_ = s.journal.saveJob(j)
+		return jobCancelled
+	}
+	// Running: cancel the context; the worker observes the enumeration
+	// abort and finalizes.
+	j.mu.Unlock()
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return jobRunning
+}
+
+// worker is one pool goroutine: it drains the queue until Shutdown closes
+// it, skipping jobs that were cancelled while queued.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		j.mu.Lock()
+		if j.state != jobQueued {
+			// Cancelled while waiting; its terminal state is already set.
+			j.mu.Unlock()
+			continue
+		}
+		j.state = jobRunning
+		j.mu.Unlock()
+		s.ob.queueDepth.Add(-1)
+		s.ob.queueSecs.Observe(time.Since(j.enqueued).Seconds())
+		s.runOne(j)
+	}
+}
+
+// runOne executes one job and finalizes it.
+func (s *Server) runOne(j *job) {
+	s.ob.inflight.Add(1)
+	start := time.Now()
+	res, err := s.runJob(j.ctx, j)
+	s.ob.inflight.Add(-1)
+	s.ob.jobSecs.Observe(time.Since(start).Seconds())
+	j.cancel()
+	s.finishJob(j, res, err)
+}
+
+// finishJob records a job's terminal state, feeds the result cache, and
+// journals the outcome.
+func (s *Server) finishJob(j *job, res *core.Result, err error) {
+	var (
+		st  jobState
+		msg string
+	)
+	switch {
+	case err == nil:
+		st = jobDone
+	case errors.Is(err, context.Canceled):
+		st, msg = jobCancelled, "cancelled"
+		s.ob.cancelled.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		st, msg = jobFailed, "deadline exceeded: "+err.Error()
+		s.ob.failed.Inc()
+	default:
+		st, msg = jobFailed, err.Error()
+		s.ob.failed.Inc()
+	}
+
+	var js []byte
+	if st == jobDone {
+		var merr error
+		js, merr = json.Marshal(res)
+		if merr != nil {
+			st, msg = jobFailed, "encoding result: "+merr.Error()
+			s.ob.failed.Inc()
+		}
+	}
+
+	j.mu.Lock()
+	j.state = st
+	j.errMsg = msg
+	if st == jobDone {
+		j.result = res
+		j.resultJSON = js
+	}
+	j.mu.Unlock()
+
+	if st == jobDone {
+		s.cache.put(j.key, res, js)
+		s.ob.done.Inc()
+		s.journal.dropCheckpoint(j.id)
+	}
+	j.events.finish(string(st), msg)
+	close(j.done)
+	_ = s.journal.saveJob(j)
+}
+
+// runJobReal is the production job runner (Server.runJob): it wires the
+// job's event log, checkpoint path, observability and evaluator into the
+// core enumeration. Distributed jobs serialize on distMu because TCP
+// workers key partitions by id in one shared map — two concurrent clusters
+// would overwrite each other's shipped partitions.
+func (s *Server) runJobReal(ctx context.Context, j *job) (*core.Result, error) {
+	cfg := j.cfg
+	cfg.Tracer = s.cfg.Tracer
+	cfg.Metrics = s.cfg.Metrics
+	cfg.OnLevel = j.events.addLevel
+	if s.journal != nil {
+		cfg.CheckpointPath = s.journal.checkpointPath(j.id)
+		cfg.Resume = j.resume
+	}
+
+	// One span tree per job: the job span carries the context into the
+	// enumeration, so core.run (and through it every level, eval and RPC
+	// span) parents under it.
+	sp := obs.Start(s.cfg.Tracer, "server.job")
+	sp.SetStr("job", j.id)
+	sp.SetStr("dataset", j.ds.ID)
+	sp.SetBool("dist", j.useDist)
+	sp.SetBool("resume", j.resume)
+	defer sp.End()
+	ctx = obs.ContextWith(ctx, sp)
+
+	if j.useDist {
+		s.distMu.Lock()
+		defer s.distMu.Unlock()
+		opts := s.cfg.Dist
+		opts.Tracer = s.cfg.Tracer
+		opts.Metrics = s.cfg.Metrics
+		cluster, err := dialCluster(s.cfg.DistWorkers, opts)
+		if err != nil {
+			return nil, fmt.Errorf("server: dialing workers: %w", err)
+		}
+		defer cluster.Close()
+		cfg.Evaluator = cluster
+	}
+	return core.RunEncodedContext(ctx, j.ds.Enc, j.ds.DS.Features, j.ds.ErrVec, cfg)
+}
+
+// dialCluster connects to every worker address and assembles the cluster.
+func dialCluster(addrs []string, opts dist.Options) (*dist.Cluster, error) {
+	workers := make([]dist.Worker, 0, len(addrs))
+	for _, a := range addrs {
+		w, err := dist.Dial(a)
+		if err != nil {
+			for _, prev := range workers {
+				if c, ok := prev.(*dist.RemoteWorker); ok {
+					c.Close()
+				}
+			}
+			return nil, err
+		}
+		workers = append(workers, w)
+	}
+	return dist.NewClusterOpts(workers, opts)
+}

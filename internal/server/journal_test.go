@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sliceline/internal/obs"
+)
+
+// TestJournalRestartReservesCompletedJobs runs a job to completion on a
+// journaled server, restarts from the same directory, and verifies the
+// dataset, the job record, and the primed result cache all survive.
+func TestJournalRestartReservesCompletedJobs(t *testing.T) {
+	dir := t.TempDir()
+	csv := testCSV(40)
+	spec := JobConfig{K: 4, Sigma: 3}
+
+	_, ts := newTestServer(t, Config{JournalDir: dir})
+	info, code := registerCSV(t, ts, csv, "err=err&name=journaled")
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d", code)
+	}
+	j, code, body := postJob(t, ts, JobSpec{Dataset: info.ID, Config: spec})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", code, body)
+	}
+	done := waitJob(t, ts, j.ID, 30*time.Second)
+	if done.Status != string(jobDone) {
+		t.Fatalf("job finished %q: %s", done.Status, done.Error)
+	}
+	// (newTestServer's cleanup shuts this instance down at test end; the
+	// journal files are already on disk, so the restart below is valid.)
+
+	// Restart from the same journal.
+	reg := obs.NewRegistry()
+	s2, ts2 := newTestServer(t, Config{JournalDir: dir, Metrics: reg})
+	if s2.reg.len() != 1 {
+		t.Fatalf("restarted registry holds %d datasets, want 1", s2.reg.len())
+	}
+	restored := getJob(t, ts2, j.ID)
+	if restored.Status != string(jobDone) {
+		t.Fatalf("restored job status %q, want done", restored.Status)
+	}
+	if canonicalResult(t, restored.Result) != canonicalResult(t, done.Result) {
+		t.Error("restored result differs from the original")
+	}
+
+	// The restored result must have primed the cache: an identical
+	// submission is served without a worker.
+	rejob, code, _ := postJob(t, ts2, JobSpec{Dataset: info.ID, Config: spec})
+	if code != http.StatusAccepted || !rejob.Cached || rejob.Status != string(jobDone) {
+		t.Errorf("post-restart resubmission: status=%d cached=%v state=%q, want 202 cached done",
+			code, rejob.Cached, rejob.Status)
+	}
+	if v := reg.Counter("sl_server_cache_hits_total", "").Value(); v != 1 {
+		t.Errorf("sl_server_cache_hits_total = %d, want 1", v)
+	}
+
+	// SSE replay still reports every lattice level after the restart.
+	levels, status := readSSE(t, ts2, j.ID)
+	if levels == 0 || status != string(jobDone) {
+		t.Errorf("restored SSE: %d levels, status %q", levels, status)
+	}
+}
+
+// TestJournalRestartResumesUnfinishedJobs simulates a crash mid-job: a job
+// record journaled in the running state (with no checkpoint yet) must be
+// re-enqueued on restart and run to completion.
+func TestJournalRestartResumesUnfinishedJobs(t *testing.T) {
+	dir := t.TempDir()
+	csv := testCSV(40)
+
+	// First life: only a dataset registration.
+	_, ts := newTestServer(t, Config{JournalDir: dir})
+	info, code := registerCSV(t, ts, csv, "err=err")
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d", code)
+	}
+
+	// Forge the crash artifact: a job that died while running.
+	rec := &journalJob{
+		Version: journalVersion,
+		ID:      "job-7",
+		Spec:    JobSpec{Dataset: info.ID, Config: JobConfig{K: 4, Sigma: 3}},
+		Status:  string(jobRunning),
+	}
+	if err := writeGob(filepath.Join(dir, rec.ID+journalJobSuffix), rec); err != nil {
+		t.Fatalf("forging journal record: %v", err)
+	}
+
+	reg := obs.NewRegistry()
+	_, ts2 := newTestServer(t, Config{JournalDir: dir, Metrics: reg})
+	got := waitJob(t, ts2, "job-7", 30*time.Second)
+	if got.Status != string(jobDone) {
+		t.Fatalf("resumed job finished %q: %s", got.Status, got.Error)
+	}
+	if v := reg.Counter("sl_server_jobs_resumed_total", "").Value(); v != 1 {
+		t.Errorf("sl_server_jobs_resumed_total = %d, want 1", v)
+	}
+
+	// Fresh submissions continue the ID sequence past the restored record.
+	next, code, _ := postJob(t, ts2, JobSpec{Dataset: info.ID, Config: JobConfig{K: 5, Sigma: 3}})
+	if code != http.StatusAccepted {
+		t.Fatalf("post-restart submission: status %d", code)
+	}
+	if seq := jobSeq(next.ID); seq <= 7 {
+		t.Errorf("post-restart job id %s does not continue the sequence", next.ID)
+	}
+}
+
+// TestJournalRestartFailsJobWithMissingDataset covers the one restore path
+// that cannot make progress: a journaled job whose dataset file is gone.
+func TestJournalRestartFailsJobWithMissingDataset(t *testing.T) {
+	dir := t.TempDir()
+	rec := &journalJob{
+		Version: journalVersion,
+		ID:      "job-1",
+		Spec:    JobSpec{Dataset: "ds_feedfacecafebeef", Config: JobConfig{K: 4}},
+		Status:  string(jobQueued),
+	}
+	if err := writeGob(filepath.Join(dir, rec.ID+journalJobSuffix), rec); err != nil {
+		t.Fatalf("forging journal record: %v", err)
+	}
+	_, ts := newTestServer(t, Config{JournalDir: dir})
+	got := waitJob(t, ts, "job-1", 5*time.Second)
+	if got.Status != string(jobFailed) {
+		t.Errorf("orphaned job status %q, want failed", got.Status)
+	}
+}
+
+// TestJournalCheckpointWrittenAndDropped verifies the per-job enumeration
+// checkpoint path is wired through: it must not outlive a completed job.
+func TestJournalCheckpointWrittenAndDropped(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{JournalDir: dir})
+	info, _ := registerCSV(t, ts, testCSV(40), "err=err")
+	j, _, _ := postJob(t, ts, JobSpec{Dataset: info.ID, Config: JobConfig{K: 4, Sigma: 3}})
+	done := waitJob(t, ts, j.ID, 30*time.Second)
+	if done.Status != string(jobDone) {
+		t.Fatalf("job finished %q", done.Status)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.ck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("checkpoint files survive job completion: %v", matches)
+	}
+}
+
+// TestShutdownDeadlineCancelsJobs covers the forced-drain path: when the
+// Shutdown context expires, running jobs are cancelled rather than awaited.
+func TestShutdownDeadlineCancelsJobs(t *testing.T) {
+	s, err := New(Config{Pool: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := newBlockingStub(s, 8)
+	defer close(stub.release)
+	ts := newHTTPTestServer(t, s)
+	info, _ := registerCSV(t, ts, testCSV(12), "err=err")
+	j, _, _ := postJob(t, ts, JobSpec{Dataset: info.ID})
+	<-stub.started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	if got := getJob(t, ts, j.ID); got.Status != string(jobCancelled) {
+		t.Errorf("in-flight job after forced drain: %q, want cancelled", got.Status)
+	}
+}

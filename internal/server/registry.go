@@ -1,0 +1,208 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"sliceline/internal/core"
+	"sliceline/internal/frame"
+	"sliceline/internal/ml"
+)
+
+// datasetEntry is one registered dataset: the integer-encoded frame, its
+// one-hot encoding (computed exactly once, at registration — jobs never
+// re-encode), the row-aligned error vector every job on it consumes, and the
+// FNV data signature that content-addresses it.
+type datasetEntry struct {
+	ID     string
+	Name   string
+	DS     *frame.Dataset
+	Enc    *frame.Encoding
+	ErrVec []float64
+	Sig    uint64
+}
+
+func (d *datasetEntry) info() DatasetInfo {
+	return DatasetInfo{
+		ID:          d.ID,
+		Name:        d.Name,
+		Rows:        d.DS.NumRows(),
+		Features:    d.DS.NumFeatures(),
+		OneHotWidth: d.DS.OneHotWidth(),
+		Signature:   fmt.Sprintf("%016x", d.Sig),
+	}
+}
+
+// datasetID derives the content address of a dataset from its signature.
+func datasetID(sig uint64) string { return fmt.Sprintf("ds_%016x", sig) }
+
+// registry is the in-memory dataset store. Entries are immutable once
+// registered; re-registering identical content is an idempotent no-op that
+// returns the existing entry.
+type registry struct {
+	mu   sync.RWMutex
+	byID map[string]*datasetEntry
+}
+
+func newRegistry() *registry {
+	return &registry{byID: make(map[string]*datasetEntry)}
+}
+
+// add registers an entry, returning the canonical entry and whether an
+// identical one already existed.
+func (r *registry) add(d *datasetEntry) (*datasetEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byID[d.ID]; ok {
+		return old, true
+	}
+	r.byID[d.ID] = d
+	return d, false
+}
+
+func (r *registry) get(id string) (*datasetEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byID[id]
+	return d, ok
+}
+
+func (r *registry) list() []*datasetEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*datasetEntry, 0, len(r.byID))
+	for _, d := range r.byID {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}
+
+// registerOptions carries the query parameters of POST /v1/datasets.
+type registerOptions struct {
+	Name  string // display name; defaults to the id
+	Label string // numeric label column used for model training
+	Task  string // "class" (mlogit) or "reg" (linear); used with Label
+	Err   string // column holding a precomputed error vector; overrides Label/Task
+	Bins  int    // equi-width bins for continuous features (<= 0: 10)
+}
+
+// buildDataset turns an uploaded CSV stream into a registry entry. Two modes
+// mirror the CLI workflows:
+//
+//   - error-column mode (err= query parameter): the named numeric column is
+//     taken verbatim as the per-row error vector e and excluded from the
+//     features — for callers that score their own models;
+//   - training mode (label= plus task=): a model is fitted server-side on
+//     the label column and e is its per-row loss, the TrainAndScore loop.
+//
+// The one-hot encoding happens here, once; every job on the dataset reuses
+// it, which is the service's whole reason to exist over one-shot CLI runs.
+func buildDataset(r io.Reader, opt registerOptions) (*datasetEntry, error) {
+	if opt.Bins <= 0 {
+		opt.Bins = 10
+	}
+	f, err := frame.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		ds     *frame.Dataset
+		errVec []float64
+	)
+	switch {
+	case opt.Err != "":
+		col, cerr := f.Column(opt.Err)
+		if cerr != nil {
+			return nil, fmt.Errorf("server: error column: %w", cerr)
+		}
+		if col.Kind != frame.Numeric {
+			return nil, fmt.Errorf("server: error column %q must be numeric", opt.Err)
+		}
+		for i, v := range col.Floats {
+			if v < 0 {
+				return nil, fmt.Errorf("server: error column %q has negative value %v at row %d", opt.Err, v, i)
+			}
+		}
+		errVec = append([]float64(nil), col.Floats...)
+		// The label column (when named) is still extracted as Y but the
+		// error column itself must not leak into the features.
+		ds, err = frame.FromFrame(f, opt.Label, opt.Bins, opt.Err)
+		if err != nil {
+			return nil, err
+		}
+	case opt.Label != "":
+		ds, err = frame.FromFrame(f, opt.Label, opt.Bins)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("server: dataset registration needs either label= (train a model server-side) or err= (precomputed error column)")
+	}
+	if ds.NumRows() == 0 {
+		return nil, fmt.Errorf("server: dataset has no rows")
+	}
+	if ds.NumFeatures() == 0 {
+		return nil, fmt.Errorf("server: dataset has no feature columns")
+	}
+	ds.Name = opt.Name
+
+	enc, err := frame.OneHot(ds)
+	if err != nil {
+		return nil, err
+	}
+	if errVec == nil {
+		errVec, err = trainErrVec(ds, enc, opt.Task)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return finishEntry(ds, enc, errVec, opt.Name)
+}
+
+// trainErrVec fits the requested model on the dataset and returns its
+// per-row loss.
+func trainErrVec(ds *frame.Dataset, enc *frame.Encoding, task string) ([]float64, error) {
+	if ds.Y == nil {
+		return nil, fmt.Errorf("server: dataset has no labels to train on")
+	}
+	switch task {
+	case "reg":
+		m, err := ml.TrainLinReg(enc.X, ds.Y, ml.LinRegConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return ml.SquaredLoss(ds.Y, m.Predict(enc.X)), nil
+	case "", "class":
+		m, err := ml.TrainMlogit(enc.X, ds.Y, ml.MlogitConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return ml.Inaccuracy(ds.Y, m.Predict(enc.X)), nil
+	default:
+		return nil, fmt.Errorf("server: unknown task %q (want class or reg)", task)
+	}
+}
+
+// finishEntry computes the content address and assembles the entry.
+func finishEntry(ds *frame.Dataset, enc *frame.Encoding, errVec []float64, name string) (*datasetEntry, error) {
+	if len(errVec) != ds.NumRows() {
+		return nil, fmt.Errorf("server: error vector length %d vs %d rows", len(errVec), ds.NumRows())
+	}
+	sig := core.DataSignature(enc, errVec, nil)
+	id := datasetID(sig)
+	if name == "" {
+		name = id
+	}
+	ds.Name = name
+	return &datasetEntry{ID: id, Name: name, DS: ds, Enc: enc, ErrVec: errVec, Sig: sig}, nil
+}

@@ -1,0 +1,269 @@
+// Package server implements slserve's multi-tenant slice-finding service: a
+// zero-dependency HTTP/JSON front end over the core enumeration with a
+// dataset registry (upload once, one-hot encode once, content-addressed by
+// the core FNV data signature), an asynchronous bounded worker pool with
+// admission control (full queue → 429), a result cache keyed by
+// (data signature, config signature, depth cap), per-level SSE progress
+// streaming, an optional gob job journal for restart/resume, and the
+// sl_server_* observability families. See DESIGN.md, "HTTP service".
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sliceline/internal/core"
+	"sliceline/internal/dist"
+	"sliceline/internal/obs"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultPool       = 4
+	DefaultQueueDepth = 64
+)
+
+// Config configures a Server.
+type Config struct {
+	// Pool is the number of concurrent job executors. <= 0 selects 4.
+	Pool int
+	// QueueDepth bounds the number of accepted-but-not-running jobs;
+	// submissions beyond it are rejected with HTTP 429. <= 0 selects 64.
+	QueueDepth int
+	// JobTimeout, when > 0, is the default per-job execution deadline;
+	// a job spec's timeout_ms overrides it. Exceeding it fails the job
+	// through the usual context-cancellation paths.
+	JobTimeout time.Duration
+	// JournalDir, when non-empty, persists datasets, job records and
+	// per-level enumeration checkpoints there, so a restarted server
+	// re-serves completed jobs and resumes in-flight ones.
+	JournalDir string
+	// DistWorkers lists worker addresses (host:port) for distributed
+	// evaluation; empty means all jobs evaluate in-process.
+	DistWorkers []string
+	// Dist carries the cluster runtime knobs (call timeout, hedging,
+	// heartbeat) applied to every distributed job.
+	Dist dist.Options
+	// Tracer, when non-nil, receives one span tree per job (server.job →
+	// core.run → levels/evals/RPCs).
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives the sl_server_* families plus the
+	// sl_core_*/sl_dist_* families of the runs the server executes.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool <= 0 {
+		c.Pool = DefaultPool
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	return c
+}
+
+// Server is the slice-finding service. Create with New, mount Handler on an
+// http.Server, and drain with Shutdown.
+type Server struct {
+	cfg     Config
+	reg     *registry
+	cache   *resultCache
+	journal *journal
+	ob      serverObs
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	closed bool
+	queue  chan *job
+
+	nextID atomic.Int64
+	wg     sync.WaitGroup
+	distMu sync.Mutex // serializes dist jobs: workers share one partition map
+
+	// runJob executes one job; tests substitute a controllable stub to
+	// drive admission-control and cancellation paths deterministically.
+	runJob func(ctx context.Context, j *job) (*core.Result, error)
+}
+
+// New builds a Server, restores the journal (when configured), and starts
+// the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   newRegistry(),
+		cache: newResultCache(),
+		ob:    newServerObs(cfg.Metrics),
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	s.runJob = s.runJobReal
+
+	var restored []*journalJob
+	if cfg.JournalDir != "" {
+		var err error
+		s.journal, err = openJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		if restored, err = s.restoreDatasetsAndLoadJobs(); err != nil {
+			return nil, err
+		}
+	}
+
+	s.wg.Add(cfg.Pool)
+	for i := 0; i < cfg.Pool; i++ {
+		go s.worker()
+	}
+
+	// Re-enqueue after the pool is running so restored backlogs larger
+	// than the queue depth drain instead of deadlocking New.
+	s.restoreJobs(restored)
+	return s, nil
+}
+
+// restoreDatasetsAndLoadJobs replays the journal's dataset files into the
+// registry and loads the raw job records.
+func (s *Server) restoreDatasetsAndLoadJobs() ([]*journalJob, error) {
+	entries, err := s.journal.loadDatasets()
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range entries {
+		s.reg.add(d)
+	}
+	recs, maxSeq, err := s.journal.loadJobs()
+	if err != nil {
+		return nil, err
+	}
+	s.nextID.Store(maxSeq)
+	return recs, nil
+}
+
+// restoreJobs rebuilds the job table from journal records: terminal jobs are
+// re-served (done results also feed the cache), unfinished jobs are
+// re-enqueued with Resume set so they continue from their last completed
+// lattice level.
+func (s *Server) restoreJobs(recs []*journalJob) {
+	for _, rec := range recs {
+		ds, haveDS := s.reg.get(rec.Spec.Dataset)
+		j := &job{
+			id:     rec.ID,
+			spec:   rec.Spec,
+			ds:     ds,
+			cached: rec.Cached,
+			events: newEventLog(),
+			done:   make(chan struct{}),
+		}
+		st := jobState(rec.Status)
+		if st.terminal() {
+			j.state = st
+			j.errMsg = rec.ErrMsg
+			if st == jobDone && len(rec.ResultJSON) > 0 && haveDS {
+				var res core.Result
+				if err := json.Unmarshal(rec.ResultJSON, &res); err == nil {
+					j.result = &res
+					j.resultJSON = rec.ResultJSON
+					cfg := rec.Spec.Config.ToCore().WithDefaults(ds.DS.NumRows())
+					s.cache.put(cacheKey{
+						dataSig:  ds.Sig,
+						cfgSig:   core.ConfigSignature(cfg),
+						maxLevel: cfg.MaxLevel,
+					}, &res, rec.ResultJSON)
+					j.events.replay(res.Levels)
+				}
+			}
+			j.events.finish(string(st), rec.ErrMsg)
+			close(j.done)
+			s.addRestored(j)
+			continue
+		}
+		if !haveDS {
+			j.state = jobFailed
+			j.errMsg = fmt.Sprintf("dataset %s not present in journal after restart", rec.Spec.Dataset)
+			j.events.finish(string(jobFailed), j.errMsg)
+			close(j.done)
+			s.addRestored(j)
+			continue
+		}
+		// Re-enqueue with resume: the checkpoint file (when one was
+		// written before the crash) carries the completed levels.
+		cfg := rec.Spec.Config.ToCore().WithDefaults(ds.DS.NumRows())
+		j.cfg = cfg
+		j.key = cacheKey{dataSig: ds.Sig, cfgSig: core.ConfigSignature(cfg), maxLevel: cfg.MaxLevel}
+		j.useDist = rec.Spec.Evaluator == EvalDist ||
+			(rec.Spec.Evaluator == EvalAuto && len(s.cfg.DistWorkers) > 0)
+		j.resume = true
+		j.state = jobQueued
+		j.enqueued = time.Now()
+		if rec.Spec.TimeoutMS > 0 {
+			j.ctx, j.cancel = context.WithTimeout(context.Background(), time.Duration(rec.Spec.TimeoutMS)*time.Millisecond)
+		} else if s.cfg.JobTimeout > 0 {
+			j.ctx, j.cancel = context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+		} else {
+			j.ctx, j.cancel = context.WithCancel(context.Background())
+		}
+		s.addRestored(j)
+		s.ob.resumed.Inc()
+		s.ob.queueDepth.Add(1)
+		s.queue <- j // blocking is fine: the pool is already draining
+	}
+}
+
+func (s *Server) addRestored(j *job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+}
+
+// registerDataset builds, registers and journals a dataset entry, returning
+// its info with Reused set when the content was already present.
+func (s *Server) registerDataset(d *datasetEntry) (DatasetInfo, error) {
+	canonical, existed := s.reg.add(d)
+	info := canonical.info()
+	info.Reused = existed
+	if !existed {
+		s.ob.datasets.Inc()
+		if err := s.journal.saveDataset(canonical); err != nil {
+			return info, err
+		}
+	}
+	return info, nil
+}
+
+// Shutdown drains the server: no new jobs are accepted (503), queued and
+// running jobs are allowed to finish, and the pool exits. If ctx expires
+// first, every remaining job is cancelled and Shutdown waits for the pool
+// to observe the cancellations before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		for _, j := range s.listJobs() {
+			if !j.currentState().terminal() && j.cancel != nil {
+				j.cancel()
+			}
+		}
+		<-drained
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// levelEvent is the SSE payload for one completed lattice level.
+type levelEvent struct {
+	Level      int   `json:"level"`
+	Candidates int   `json:"candidates"`
+	Valid      int   `json:"valid"`
+	Pruned     int   `json:"pruned"`
+	ElapsedMS  int64 `json:"elapsed_ms"`
+}
+
+// terminalEvent is the SSE payload of the final "status" event.
+type terminalEvent struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleJobEvents implements GET /v1/jobs/{id}/events: a Server-Sent Events
+// stream with one "level" event per completed lattice level (history first,
+// then live) and a final "status" event carrying the terminal state. The
+// handler returns when the job reaches a terminal state or the client
+// disconnects; a finished job still yields its full history, so the stream is
+// safe to open at any point in the job's life.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.getJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no such job"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("server: response writer does not support streaming"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	from := 0
+	for {
+		levels, terminal, errMsg, wait := j.events.next(from)
+		for i, ls := range levels {
+			writeSSE(w, "level", from+i, levelEvent{
+				Level:      ls.Level,
+				Candidates: ls.Candidates,
+				Valid:      ls.Valid,
+				Pruned:     ls.Pruned,
+				ElapsedMS:  ls.Elapsed.Milliseconds(),
+			})
+		}
+		from += len(levels)
+		if len(levels) > 0 {
+			flusher.Flush()
+		}
+		if terminal != "" {
+			writeSSE(w, "status", from, terminalEvent{Status: terminal, Error: errMsg})
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one event frame (id, event, data lines).
+func writeSSE(w http.ResponseWriter, event string, id int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, data)
+}

@@ -1,0 +1,43 @@
+// Package version derives a human-readable build identifier from the Go
+// build metadata (runtime/debug.ReadBuildInfo), so every binary can answer
+// -version and the server can report what it is running without any
+// link-time -ldflags ceremony.
+package version
+
+import (
+	"runtime/debug"
+)
+
+// String returns the build identifier: the module version when built from a
+// tagged module, otherwise "devel", suffixed with the VCS revision (and a
+// ".dirty" marker for modified trees) when the build embedded one.
+func String() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	v := info.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		v += "+" + rev
+		if dirty {
+			v += ".dirty"
+		}
+	}
+	return v
+}

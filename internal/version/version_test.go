@@ -1,0 +1,19 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringNonEmptyAndStable(t *testing.T) {
+	v := String()
+	if v == "" {
+		t.Fatal("version.String returned empty")
+	}
+	if strings.ContainsAny(v, " \n\t") {
+		t.Fatalf("version %q contains whitespace", v)
+	}
+	if v != String() {
+		t.Fatal("version.String is not stable across calls")
+	}
+}
