@@ -8,6 +8,12 @@
 //	slbench -exp fig3a            # one experiment, quick scale
 //	slbench -exp all -full        # everything at the DESIGN.md scales
 //	slbench -exp table2 -seed 7
+//	slbench -bench-out BENCH_2026-08-08.json   # measure the kernel suite
+//
+// -bench-out measures the eval-kernel benchmark suite (single-threaded,
+// fixed seed) plus the end-to-end run benchmarks, and writes the versioned
+// artifact that gets committed as the repo's perf baseline. CI re-measures
+// and compares with cmd/slbenchdiff.
 package main
 
 import (
@@ -15,8 +21,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"sliceline/internal/bench"
+	"sliceline/internal/benchfmt"
 	"sliceline/internal/obs"
 	"sliceline/internal/version"
 )
@@ -28,12 +36,21 @@ func main() {
 		seed        = flag.Int64("seed", 1, "dataset generation seed")
 		list        = flag.Bool("list", false, "list available experiments")
 		spanOut     = flag.String("span-out", "", "write a JSON span dump (per-level timing breakdowns per experiment) to this file")
+		benchOut    = flag.String("bench-out", "", "measure the eval-kernel benchmark suite and write the versioned JSON artifact to this file")
 		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println("slbench", version.String())
+		return
+	}
+
+	if *benchOut != "" {
+		if err := writeBenchArtifact(*benchOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "slbench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -74,6 +91,50 @@ func main() {
 		os.Exit(1)
 	}
 	dumpSpans(*spanOut, tracer)
+}
+
+// writeBenchArtifact measures the kernel and run suites and writes the
+// committed benchmark artifact. Progress goes to stderr so stdout stays
+// clean for scripting.
+func writeBenchArtifact(path string, seed int64) error {
+	fmt.Fprintf(os.Stderr, "slbench: measuring gated kernel suite (seed %d, single-threaded)...\n", seed)
+	kernels, err := bench.KernelSuite(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "slbench: measuring end-to-end run suite...")
+	runs, err := bench.RunSuite(seed)
+	if err != nil {
+		return err
+	}
+	f := benchfmt.File{
+		SchemaVersion: benchfmt.SchemaVersion,
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		Machine:       bench.MachineInfo(),
+		Seed:          seed,
+		Benchmarks:    append(kernels, runs...),
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := benchfmt.Write(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	for _, b := range f.Benchmarks {
+		gate := ""
+		if b.Gate {
+			gate = "  [gated]"
+		}
+		fmt.Printf("%-32s %12.0f ns/op %8d allocs/op %12.0f rows/s%s\n",
+			b.Name, b.NsPerOp, b.AllocsPerOp, b.RowsPerSec, gate)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(f.Benchmarks))
+	return nil
 }
 
 // dumpSpans writes the collected span dump; a nil tracer writes nothing.

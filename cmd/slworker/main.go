@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"sliceline/internal/core"
 	"sliceline/internal/dist"
 	"sliceline/internal/obs"
 	"sliceline/internal/version"
@@ -33,11 +34,17 @@ func main() {
 	addr := flag.String("addr", ":7071", "listen address (host:port)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight calls on SIGTERM/SIGINT")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address")
+	bitset := flag.String("bitset", "auto", "slice-membership kernel: auto (by partition density), on (packed bitset), off (fused CSR)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("slworker", version.String())
 		return
+	}
+	mode, err := core.ParseBitsetMode(*bitset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slworker:", err)
+		os.Exit(2)
 	}
 
 	lis, err := net.Listen("tcp", *addr)
@@ -45,7 +52,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "slworker:", err)
 		os.Exit(1)
 	}
-	var opts dist.ServerOptions
+	opts := dist.ServerOptions{BitsetEval: mode}
 	if *metricsAddr != "" {
 		opts.Metrics = obs.NewRegistry()
 		msrv, maddr, err := obs.Serve(*metricsAddr, opts.Metrics)

@@ -1,0 +1,150 @@
+// Package benchfmt defines the committed benchmark artifact format
+// (BENCH_<date>.json) and the regression comparator behind cmd/slbenchdiff.
+//
+// The artifact is the repo's perf trajectory: cmd/slbench -bench-out writes
+// one File per run, the current one is committed next to the code, and CI
+// re-measures and diffs against it. Entries with Gate set participate in the
+// regression gate — a gated benchmark that gets slower than the committed
+// baseline by more than the allowed fraction (ns/op), or allocates more per
+// op at all, fails the build.
+package benchfmt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SchemaVersion is the format version stamped into every file. Readers
+// reject other versions instead of guessing.
+const SchemaVersion = 1
+
+// Machine records where a benchmark file was measured. Cross-machine ns/op
+// comparisons are noisy; the gate is meant to compare files from the same
+// class of machine (the CI runner re-measures rather than trusting clocks
+// from a developer laptop).
+type Machine struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+// Benchmark is one measured experiment.
+type Benchmark struct {
+	// Name identifies the experiment, e.g. "eval/bitset/pairs-l2". Names are
+	// stable across runs; renaming a gated benchmark without refreshing the
+	// baseline is a gate error, not a silent pass.
+	Name string `json:"name"`
+	// NsPerOp is the wall-clock cost of one operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are the steady-state heap footprint.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// RowsPerSec is dataset rows scanned per second (rows × iterations /
+	// elapsed), the throughput form the kernel comparisons report. Zero when
+	// the experiment has no natural row count.
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
+	// Gate marks the benchmark as regression-gated in CI.
+	Gate bool `json:"gate,omitempty"`
+}
+
+// File is one committed benchmark artifact.
+type File struct {
+	SchemaVersion int     `json:"schema_version"`
+	Generated     string  `json:"generated"` // RFC3339 UTC timestamp of the run
+	Machine       Machine `json:"machine"`
+	// Seed is the dataset-generation seed the suite ran with; baseline and
+	// candidate must measure the same workload.
+	Seed       int64       `json:"seed"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// ErrMalformed wraps every reader-side validation failure, matchable with
+// errors.Is.
+var ErrMalformed = errors.New("malformed benchmark file")
+
+// Read strictly decodes and validates a benchmark file: unknown fields,
+// trailing garbage, wrong schema versions, duplicate or empty names and
+// out-of-domain measurements are all rejected, so the comparator never
+// gates on garbage.
+func Read(r io.Reader) (File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return f, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return f, fmt.Errorf("%w: trailing data after document", ErrMalformed)
+	}
+	return f, f.validate()
+}
+
+// ReadFile reads and validates the benchmark file at path.
+func ReadFile(path string) (File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return File{}, err
+	}
+	defer fh.Close()
+	f, err := Read(fh)
+	if err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func (f File) validate() error {
+	if f.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("%w: schema_version %d (want %d)", ErrMalformed, f.SchemaVersion, SchemaVersion)
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("%w: no benchmarks", ErrMalformed)
+	}
+	seen := make(map[string]bool, len(f.Benchmarks))
+	for i, b := range f.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("%w: benchmark %d has no name", ErrMalformed, i)
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("%w: duplicate benchmark %q", ErrMalformed, b.Name)
+		}
+		seen[b.Name] = true
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("%w: benchmark %q: ns_per_op %v out of domain", ErrMalformed, b.Name, b.NsPerOp)
+		}
+		if b.AllocsPerOp < 0 || b.BytesPerOp < 0 || b.RowsPerSec < 0 {
+			return fmt.Errorf("%w: benchmark %q: negative measurement", ErrMalformed, b.Name)
+		}
+	}
+	return nil
+}
+
+// Write emits the canonical on-disk form: indented JSON with a trailing
+// newline, benchmarks in the order given. It validates before writing so a
+// file that Write accepts always round-trips through Read.
+func Write(w io.Writer, f File) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = w.Write(out)
+	return err
+}
+
+// Lookup returns the benchmark with the given name.
+func (f File) Lookup(name string) (Benchmark, bool) {
+	for _, b := range f.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}

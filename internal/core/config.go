@@ -68,6 +68,17 @@ type Config struct {
 	// kernel-quality comparison of Section 5.4). Off by default.
 	DenseEval bool
 
+	// BitsetEval selects the slice-membership kernel for the built-in
+	// evaluation path: BitsetAuto (the zero value) packs the reduced one-hot
+	// columns into []uint64 bitsets and evaluates candidates with
+	// AND+popcount whenever the average column density is at least 1/64,
+	// falling back to the fused CSR kernel below it; BitsetOn and BitsetOff
+	// force one path for ablations and differential tests. Like BlockSize,
+	// it changes execution plan, never results. Ignored when DenseEval or an
+	// external Evaluator is set; distributed workers apply their own
+	// (worker-side) knob.
+	BitsetEval BitsetMode
+
 	// Evaluator, when non-nil, delegates slice evaluation — for example to
 	// the distributed backends of package dist. The enumeration, pruning
 	// and top-K logic stay on the driver.

@@ -31,6 +31,8 @@ var (
 	// ErrWeightedEvaluator marks the unsupported combination of row weights
 	// with an external evaluator.
 	ErrWeightedEvaluator = errors.New("external evaluators do not support row weights")
+	// ErrBadBitsetMode marks a Config.BitsetEval outside auto/on/off.
+	ErrBadBitsetMode = errors.New("invalid BitsetEval mode")
 )
 
 // Validate checks the statically checkable configuration fields, returning an
@@ -42,6 +44,11 @@ var (
 func (c Config) Validate() error {
 	if math.IsNaN(c.Alpha) || math.IsInf(c.Alpha, 0) {
 		return fmt.Errorf("core: Alpha = %v: %w", c.Alpha, ErrBadAlpha)
+	}
+	switch c.BitsetEval {
+	case BitsetAuto, BitsetOn, BitsetOff:
+	default:
+		return fmt.Errorf("core: BitsetEval = %d: %w", int(c.BitsetEval), ErrBadBitsetMode)
 	}
 	return nil
 }

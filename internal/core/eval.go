@@ -69,8 +69,12 @@ func (st *state) evalSlices(ctx context.Context, lv *level, L int) error {
 		sp.SetStr("backend", "dense")
 		st.evalDense(lv, L)
 	default:
-		sp.SetStr("backend", "fused")
-		EvalPartitionWeighted(st.x, st.e, st.w, lv.cols, L, st.cfg.BlockSize, lv.ss, lv.se, lv.sm)
+		// Per-level kernel selection (Config.BitsetEval): packed-bitset
+		// AND+popcount when the reduced columns are dense enough, the fused
+		// CSR kernel otherwise. The packing happens once, on the first level
+		// that takes the bitset path.
+		sp.SetStr("backend", st.kernel.Backend())
+		st.kernel.Eval(lv.cols, L, st.cfg.BlockSize, lv.ss, lv.se, lv.sm)
 	}
 	st.ob.evalSecs.Observe(time.Since(evalStart).Seconds())
 	sp.End()

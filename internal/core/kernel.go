@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"sliceline/internal/matrix"
+)
+
+// BitsetMode selects the slice-membership kernel: the packed-bitset
+// AND+popcount kernel over one-hot columns, the fused CSR kernel, or an
+// automatic per-dataset choice by column density (the default).
+type BitsetMode int
+
+// BitsetEval knob values.
+const (
+	// BitsetAuto picks the bitset kernel when the average one-hot column
+	// carries at least one set bit per 64-bit word (density >= 1/64), the
+	// break-even point against the CSR kernel's O(nnz) scans.
+	BitsetAuto BitsetMode = iota
+	// BitsetOn forces the packed-bitset kernel.
+	BitsetOn
+	// BitsetOff forces the fused CSR kernel.
+	BitsetOff
+)
+
+// String returns the knob spelling accepted by ParseBitsetMode.
+func (m BitsetMode) String() string {
+	switch m {
+	case BitsetAuto:
+		return "auto"
+	case BitsetOn:
+		return "on"
+	case BitsetOff:
+		return "off"
+	default:
+		return fmt.Sprintf("BitsetMode(%d)", int(m))
+	}
+}
+
+// ParseBitsetMode parses a BitsetEval knob value. The empty string parses as
+// BitsetAuto so zero-valued wire configs inherit the default.
+func ParseBitsetMode(s string) (BitsetMode, error) {
+	switch s {
+	case "", "auto":
+		return BitsetAuto, nil
+	case "on":
+		return BitsetOn, nil
+	case "off":
+		return BitsetOff, nil
+	default:
+		return BitsetAuto, fmt.Errorf("core: unknown bitset mode %q (want auto, on or off)", s)
+	}
+}
+
+// Kernel evaluates slice candidates against one row partition of the one-hot
+// matrix, selecting per evaluation between the fused CSR kernel
+// (EvalPartitionWeighted) and the packed-bitset kernel (EvalBitsetWeighted).
+// The bitset packing happens at most once per Kernel, on the first
+// evaluation that takes the bitset path, and is shared by all subsequent
+// levels — the pack cost is O(nnz + rows·cols/64) against per-level scans it
+// saves. A Kernel is safe for concurrent Eval calls on disjoint output
+// slices.
+type Kernel struct {
+	x    *matrix.CSR
+	e, w []float64
+	mode BitsetMode
+
+	profitable bool // density heuristic, fixed at construction
+	packOnce   sync.Once
+	bits       *matrix.ColumnBits
+}
+
+// NewKernel wraps a partition (one-hot matrix, error vector, optional row
+// weights) with kernel selection under the given mode.
+func NewKernel(x *matrix.CSR, e, w []float64, mode BitsetMode) *Kernel {
+	return &Kernel{x: x, e: e, w: w, mode: mode, profitable: bitsetProfitable(x)}
+}
+
+// bitsetProfitable reports whether the packed-bitset kernel is expected to
+// beat the fused CSR kernel on this matrix. The bitset kernel touches
+// ceil(n/64) words per candidate column regardless of sparsity; the CSR
+// kernel touches only stored entries. Break-even sits where the average
+// column carries one set bit per 64-bit word, i.e. column density 1/64 —
+// one-hot features with domains below ~64 are above it, ultra-high-cardinality
+// features (large Criteo-style domains) fall below it.
+func bitsetProfitable(x *matrix.CSR) bool {
+	n, c := x.Rows(), x.Cols()
+	if n == 0 || c == 0 {
+		return false
+	}
+	return float64(x.NNZ())*64 >= float64(n)*float64(c)
+}
+
+// Rows returns the partition's row count.
+func (k *Kernel) Rows() int { return k.x.Rows() }
+
+// UsesBitset reports which path Eval will take under the kernel's mode.
+func (k *Kernel) UsesBitset() bool {
+	switch k.mode {
+	case BitsetOn:
+		return true
+	case BitsetOff:
+		return false
+	default:
+		return k.profitable
+	}
+}
+
+// Backend names the selected path for tracing ("bitset" or "fused").
+func (k *Kernel) Backend() string {
+	if k.UsesBitset() {
+		return "bitset"
+	}
+	return "fused"
+}
+
+// Bits returns the packed columns, packing them on first use.
+func (k *Kernel) Bits() *matrix.ColumnBits {
+	k.packOnce.Do(func() { k.bits = matrix.PackColumns(k.x) })
+	return k.bits
+}
+
+// Eval evaluates the level-L candidates, accumulating into ss/se/sm (callers
+// pass zeroed slices of length len(cols)), with the same statistics contract
+// as EvalPartitionWeighted. blockSize only applies to the CSR path; the
+// bitset path parallelizes over candidates instead of sharing scans.
+func (k *Kernel) Eval(cols [][]int, level, blockSize int, ss, se, sm []float64) {
+	if k.UsesBitset() {
+		EvalBitsetWeighted(k.Bits(), k.e, k.w, cols, ss, se, sm)
+		return
+	}
+	EvalPartitionWeighted(k.x, k.e, k.w, cols, level, blockSize, ss, se, sm)
+}
+
+// EvalBitset evaluates candidates against packed one-hot columns with unit
+// row weights. See EvalBitsetWeighted.
+func EvalBitset(cb *matrix.ColumnBits, e []float64, cols [][]int, ss, se, sm []float64) {
+	EvalBitsetWeighted(cb, e, nil, cols, ss, se, sm)
+}
+
+// EvalBitsetWeighted is the packed-bitset evaluation kernel: per candidate,
+// the bitsets of its one-hot columns are ANDed word-wise and the surviving
+// rows counted with OnesCount64 (slice sizes) and enumerated with
+// TrailingZeros64 (error sums and maxima). Candidates are split across
+// MaxWorkers goroutines; every candidate is computed whole, in ascending row
+// order, so results are deterministic independent of scheduling. It
+// accumulates into ss/se/sm like EvalPartitionWeighted (nil w means unit
+// weights).
+func EvalBitsetWeighted(cb *matrix.ColumnBits, e, w []float64, cols [][]int, ss, se, sm []float64) {
+	n := len(cols)
+	if n == 0 {
+		return
+	}
+	matrix.ParallelFor(n, func(lo, hi int) {
+		evalBitsetRange(cb, e, w, cols, lo, hi, ss, se, sm)
+	})
+}
+
+// EvalBitsetSerial evaluates all candidates on the calling goroutine. It is
+// the allocation-free level loop the bench regression gate pins at
+// 0 allocs/op, and the kernel the parallel wrapper shards.
+func EvalBitsetSerial(cb *matrix.ColumnBits, e, w []float64, cols [][]int, ss, se, sm []float64) {
+	evalBitsetRange(cb, e, w, cols, 0, len(cols), ss, se, sm)
+}
+
+// evalBitsetRange evaluates candidates [s0,s1). It performs no allocations:
+// the only state is the accumulator scalars and word cursors, so the hot
+// loop is AND → OnesCount64 → TrailingZeros64 over the packed words.
+func evalBitsetRange(cb *matrix.ColumnBits, e, w []float64, cols [][]int, s0, s1 int, ss, se, sm []float64) {
+	words := cb.Words()
+	for s := s0; s < s1; s++ {
+		cand := cols[s]
+		nc := len(cand)
+		if nc == 0 {
+			continue
+		}
+		// Hoist the first three column slices; deeper conjunctions (rare —
+		// lattice levels beyond 3 have few surviving candidates) index the
+		// packed storage per word.
+		a := cb.Col(cand[0])
+		var b, c []uint64
+		if nc > 1 {
+			b = cb.Col(cand[1])
+		}
+		if nc > 2 {
+			c = cb.Col(cand[2])
+		}
+		var sumS, sumE, maxE float64
+		for k := 0; k < words; k++ {
+			m := a[k]
+			if m == 0 {
+				continue
+			}
+			if b != nil {
+				m &= b[k]
+				if c != nil && m != 0 {
+					m &= c[k]
+					for j := 3; j < nc && m != 0; j++ {
+						m &= cb.Col(cand[j])[k]
+					}
+				}
+			}
+			if m == 0 {
+				continue
+			}
+			base := k << 6
+			if w == nil {
+				sumS += float64(bits.OnesCount64(m))
+				for t := m; t != 0; t &= t - 1 {
+					ei := e[base+bits.TrailingZeros64(t)]
+					sumE += ei
+					if ei > maxE {
+						maxE = ei
+					}
+				}
+			} else {
+				for t := m; t != 0; t &= t - 1 {
+					i := base + bits.TrailingZeros64(t)
+					wi := w[i]
+					ei := e[i]
+					sumS += wi
+					sumE += wi * ei
+					if ei > maxE {
+						maxE = ei
+					}
+				}
+			}
+		}
+		ss[s] += sumS
+		se[s] += sumE
+		if maxE > sm[s] {
+			sm[s] = maxE
+		}
+	}
+}

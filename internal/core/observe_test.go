@@ -36,10 +36,11 @@ func evalAllocFixture(tb testing.TB) (*state, *level) {
 	}
 	cfg := Config{K: 4, Sigma: 10, Alpha: 0.95}.WithDefaults(len(e))
 	st := &state{
-		cfg: cfg,
-		sc:  newScorer(len(e), e, cfg.Alpha, cfg.Sigma),
-		x:   enc.X,
-		e:   e,
+		cfg:    cfg,
+		sc:     newScorer(len(e), e, cfg.Alpha, cfg.Sigma),
+		x:      enc.X,
+		e:      e,
+		kernel: NewKernel(enc.X, e, nil, cfg.BitsetEval),
 	}
 	lv := &level{
 		cols: pairs,
@@ -69,7 +70,7 @@ func TestEvalSlicesNilObserversAddZeroAllocs(t *testing.T) {
 
 	base := testing.AllocsPerRun(20, func() {
 		zeroLevel(lv)
-		EvalPartitionWeighted(st.x, st.e, st.w, lv.cols, 2, st.cfg.BlockSize, lv.ss, lv.se, lv.sm)
+		st.kernel.Eval(lv.cols, 2, st.cfg.BlockSize, lv.ss, lv.se, lv.sm)
 		for i := range lv.sc {
 			lv.sc[i] = st.sc.score(lv.ss[i], lv.se[i])
 		}

@@ -80,9 +80,10 @@ func DataSignature(enc *frame.Encoding, e, w []float64) uint64 {
 //
 // MaxLevel is deliberately excluded — resuming with a deeper level cap
 // legitimately extends a shallower run, because the per-level state is
-// identical up to the old cap. BlockSize and the evaluator are excluded too:
-// re-running under a different execution plan produces the same result, with
-// the usual cross-plan last-ULP caveat on summed statistics. Callers that
+// identical up to the old cap. BlockSize, BitsetEval and the evaluator are
+// excluded too: re-running under a different execution plan produces the same
+// result, with the usual cross-plan last-ULP caveat on summed statistics.
+// Callers that
 // must distinguish depth-capped results (the server's result cache) combine
 // this with MaxLevel explicitly.
 func ConfigSignature(cfg Config) uint64 {

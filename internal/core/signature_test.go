@@ -104,8 +104,9 @@ func TestConfigSignatureSensitivity(t *testing.T) {
 	equiv.MaxLevel = 3
 	equiv.BlockSize = 64
 	equiv.DenseEval = true
+	equiv.BitsetEval = BitsetOn
 	if ConfigSignature(equiv) != baseSig {
-		t.Fatal("MaxLevel/BlockSize/DenseEval must not affect the config signature")
+		t.Fatal("MaxLevel/BlockSize/DenseEval/BitsetEval must not affect the config signature")
 	}
 }
 

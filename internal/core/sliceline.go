@@ -29,6 +29,7 @@ type state struct {
 	cfg    Config
 	sc     scorer
 	x      *matrix.CSR // reduced one-hot matrix, n × l'
+	kernel *Kernel     // built-in evaluation kernel over x (bitset/CSR selection)
 	e      []float64
 	w      []float64 // optional row weights (nil = unit weights)
 	featOf []int     // original feature per reduced column
@@ -202,6 +203,7 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 
 	// Project X, the offsets and statistics to the reduced column space.
 	st.x = enc.X.SelectCols(cI)
+	st.kernel = NewKernel(st.x, e, w, cfg.BitsetEval)
 	// The run span rides the context from here on, so external evaluators
 	// (and through them the distributed runtime) parent their spans under
 	// the enumeration that issued the work.

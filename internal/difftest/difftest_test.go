@@ -84,12 +84,29 @@ func TestDiffBackendsAgree(t *testing.T) {
 	}
 }
 
+// bruteForcePlans selects the backends checked against exhaustive
+// enumeration: the builtin auto plan, the dense kernel, the bitset kernel
+// forced on and off, and in-process clusters with auto and forced-bitset
+// workers.
+func bruteForcePlans() []Plan {
+	var plans []Plan
+	for _, p := range BuiltinPlans() {
+		switch p.Name {
+		case "builtin/auto", "dense", "bitset/on", "bitset/off":
+			plans = append(plans, p)
+		}
+	}
+	plans = append(plans, ClusterPlans(2)...)
+	plans = append(plans, BitsetClusterPlans(2)...)
+	return plans
+}
+
 // TestDiffBruteForce checks the exactness claim itself: on small instances,
 // several backends must agree with exhaustive lattice enumeration, across
 // the pruning-ablation matrix, on at least 50 random seeds.
 func TestDiffBruteForce(t *testing.T) {
 	abl := ablations()
-	plans := append(BuiltinPlans()[:2:2], ClusterPlans(2)...) // builtin, dense, cluster
+	plans := bruteForcePlans()
 	for _, seed := range Seeds(seedCount(60, 10)) {
 		c := Generate(seed, Tiny)
 		a := abl[int(seed)%len(abl)]
@@ -155,7 +172,10 @@ func TestDiffTCPCluster(t *testing.T) {
 			failf(t, "TestDiffTCPCluster", seed, "builtin: %v", err)
 			continue
 		}
-		for _, plan := range TCPPlans(1, 2, 4) {
+		plans := TCPPlans(1, 2, 4)
+		plans = append(plans, TCPPlansMode(core.BitsetOn, 2)...)
+		plans = append(plans, TCPPlansMode(core.BitsetOff, 2)...)
+		for _, plan := range plans {
 			got, err := plan.Run(c)
 			if err != nil {
 				failf(t, "TestDiffTCPCluster", seed, "plan %s: %v", plan.Name, err)
@@ -215,6 +235,54 @@ func TestDiffWeightedEqualsReplicated(t *testing.T) {
 		}
 		if err := CompareResults(rRes, wRes, Tol); err != nil {
 			failf(t, "TestDiffWeightedEqualsReplicated", seed, "weighted vs replicated: %v", err)
+		}
+	}
+}
+
+// TestDiffBitsetWeighted: the weighted bitset kernel must agree with the
+// weighted CSR kernel on genuinely weighted cases (non-unit weights change
+// the ss/se accumulation paths inside the kernels), and with physical row
+// replication for integral weights.
+func TestDiffBitsetWeighted(t *testing.T) {
+	var on, off Plan
+	for _, p := range BuiltinPlans() {
+		switch p.Name {
+		case "bitset/on":
+			on = p
+		case "bitset/off":
+			off = p
+		}
+	}
+	if on.Name == "" || off.Name == "" {
+		t.Fatal("bitset plans missing from BuiltinPlans")
+	}
+	for _, seed := range Seeds(seedCount(20, 5)) {
+		o := Tiny
+		o.Weighted, o.IntWeights = true, true
+		c := Generate(seed, o)
+		ref, err := off.Run(c)
+		if err != nil {
+			failf(t, "TestDiffBitsetWeighted", seed, "bitset/off: %v", err)
+			continue
+		}
+		got, err := on.Run(c)
+		if err != nil {
+			failf(t, "TestDiffBitsetWeighted", seed, "bitset/on: %v", err)
+			continue
+		}
+		if err := CompareResults(ref, got, Tol); err != nil {
+			failf(t, "TestDiffBitsetWeighted", seed, "weighted bitset vs CSR: %v", err)
+		}
+		exp, expE := replicateByWeight(c)
+		cfg := c.Cfg
+		cfg.BitsetEval = core.BitsetOn
+		rRes, err := core.Run(exp, expE, cfg)
+		if err != nil {
+			failf(t, "TestDiffBitsetWeighted", seed, "replicated bitset run: %v", err)
+			continue
+		}
+		if err := CompareResults(rRes, got, Tol); err != nil {
+			failf(t, "TestDiffBitsetWeighted", seed, "weighted bitset vs replicated rows: %v", err)
 		}
 	}
 }

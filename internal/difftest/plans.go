@@ -39,7 +39,8 @@ func runBuiltin(c *Case, mutate func(*core.Config)) (*core.Result, error) {
 // BuiltinPlans enumerates the single-process execution plans of Section 4.4:
 // the fused sparse kernel at several block sizes — b=1 is the task-parallel
 // plan, a huge b the data-parallel plan, intermediate values the hybrid —
-// plus the dense chunked kernel and priority-ordered enumeration.
+// plus the dense chunked kernel, the packed-bitset kernel forced on and off,
+// and priority-ordered enumeration.
 func BuiltinPlans() []Plan {
 	plans := []Plan{
 		{Name: "builtin/auto", Weighted: true, run: func(c *Case) (*core.Result, error) {
@@ -50,6 +51,12 @@ func BuiltinPlans() []Plan {
 		}},
 		{Name: "priority", Weighted: true, run: func(c *Case) (*core.Result, error) {
 			return runBuiltin(c, func(cfg *core.Config) { cfg.PriorityEnumeration = true })
+		}},
+		{Name: "bitset/on", Weighted: true, run: func(c *Case) (*core.Result, error) {
+			return runBuiltin(c, func(cfg *core.Config) { cfg.BitsetEval = core.BitsetOn })
+		}},
+		{Name: "bitset/off", Weighted: true, run: func(c *Case) (*core.Result, error) {
+			return runBuiltin(c, func(cfg *core.Config) { cfg.BitsetEval = core.BitsetOff })
 		}},
 	}
 	for _, b := range []int{1, 3, 16, 1 << 30} {
@@ -65,21 +72,28 @@ func BuiltinPlans() []Plan {
 	return plans
 }
 
-// LocalPlans enumerates the multi-threaded local evaluators of Figure 7(b):
-// MT-Ops (barrier per operation) and MT-PFor (parallel-for over blocks).
+// LocalPlans enumerates the multi-threaded local evaluators of Figure 7(b)
+// — MT-Ops (barrier per operation) and MT-PFor (parallel-for over blocks) —
+// each under every kernel mode (auto/bitset/CSR).
 func LocalPlans() []Plan {
 	var plans []Plan
 	for _, s := range []dist.Strategy{dist.MTOps, dist.MTPFor} {
-		s := s
-		plans = append(plans, Plan{Name: "local/" + s.String(), run: func(c *Case) (*core.Result, error) {
-			ev, err := dist.NewLocal(s, 8)
-			if err != nil {
-				return nil, err
+		for _, mode := range []core.BitsetMode{core.BitsetAuto, core.BitsetOn, core.BitsetOff} {
+			s, mode := s, mode
+			name := "local/" + s.String()
+			if mode != core.BitsetAuto {
+				name += "-bitset-" + mode.String()
 			}
-			cfg := c.Cfg
-			cfg.Evaluator = ev
-			return core.Run(c.DS, c.E, cfg)
-		}})
+			plans = append(plans, Plan{Name: name, run: func(c *Case) (*core.Result, error) {
+				ev, err := dist.NewLocalMode(s, 8, mode)
+				if err != nil {
+					return nil, err
+				}
+				cfg := c.Cfg
+				cfg.Evaluator = ev
+				return core.Run(c.DS, c.E, cfg)
+			}})
+		}
 	}
 	return plans
 }
@@ -107,14 +121,48 @@ func ClusterPlans(workerCounts ...int) []Plan {
 	return plans
 }
 
+// BitsetClusterPlans enumerates Dist-PFor over in-process workers whose
+// worker-side kernel knob forces the packed-bitset kernel — the partitioned
+// analogue of the bitset/on builtin plan.
+func BitsetClusterPlans(workerCounts ...int) []Plan {
+	var plans []Plan
+	for _, nw := range workerCounts {
+		nw := nw
+		plans = append(plans, Plan{Name: fmt.Sprintf("cluster/inproc-%d-bitset", nw), run: func(c *Case) (*core.Result, error) {
+			workers := make([]dist.Worker, nw)
+			for i := range workers {
+				workers[i] = &dist.InProcessWorker{BitsetEval: core.BitsetOn}
+			}
+			cl, err := dist.NewCluster(workers, 0)
+			if err != nil {
+				return nil, err
+			}
+			cfg := c.Cfg
+			cfg.Evaluator = cl
+			return core.Run(c.DS, c.E, cfg)
+		}})
+	}
+	return plans
+}
+
 // TCPPlans enumerates Dist-PFor over real TCP workers served on ephemeral
 // localhost ports, exercising the full gob-RPC serialization path. Workers
 // are spun up and torn down per Run.
 func TCPPlans(workerCounts ...int) []Plan {
+	return TCPPlansMode(core.BitsetAuto, workerCounts...)
+}
+
+// TCPPlansMode is TCPPlans with an explicit worker-side kernel mode, the
+// path cmd/slworker's -bitset flag configures in production.
+func TCPPlansMode(mode core.BitsetMode, workerCounts ...int) []Plan {
 	var plans []Plan
 	for _, nw := range workerCounts {
 		nw := nw
-		plans = append(plans, Plan{Name: fmt.Sprintf("cluster/tcp-%d", nw), run: func(c *Case) (*core.Result, error) {
+		name := fmt.Sprintf("cluster/tcp-%d", nw)
+		if mode != core.BitsetAuto {
+			name += "-bitset-" + mode.String()
+		}
+		plans = append(plans, Plan{Name: name, run: func(c *Case) (*core.Result, error) {
 			listeners := make([]net.Listener, 0, nw)
 			defer func() {
 				for _, lis := range listeners {
@@ -128,7 +176,11 @@ func TCPPlans(workerCounts ...int) []Plan {
 					return nil, err
 				}
 				listeners = append(listeners, lis)
-				go dist.Serve(lis) //nolint:errcheck // lifetime bound to listener
+				srv, err := dist.NewServerOpts(lis, dist.ServerOptions{BitsetEval: mode})
+				if err != nil {
+					return nil, err
+				}
+				go srv.Serve() //nolint:errcheck // lifetime bound to listener
 				w, err := dist.Dial(lis.Addr().String())
 				if err != nil {
 					return nil, err
@@ -193,11 +245,14 @@ func ReferencePlan() Plan {
 }
 
 // AllPlans is the full cross-backend matrix used by the main differential
-// test: builtin variants, local evaluators, and in-process clusters.
-// TCP plans are listed separately because of their per-run setup cost.
+// test: builtin variants (including the bitset kernel forced on and off),
+// local evaluators under every kernel mode, and in-process clusters both
+// with auto and forced-bitset workers. TCP plans are listed separately
+// because of their per-run setup cost.
 func AllPlans() []Plan {
 	plans := BuiltinPlans()
 	plans = append(plans, LocalPlans()...)
 	plans = append(plans, ClusterPlans(1, 2, 4)...)
+	plans = append(plans, BitsetClusterPlans(2)...)
 	return plans
 }

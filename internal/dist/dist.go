@@ -71,29 +71,35 @@ func (s Strategy) String() string {
 type Local struct {
 	strategy  Strategy
 	blockSize int
-	x         *matrix.CSR
-	e         []float64
+	mode      core.BitsetMode
+	kernel    *core.Kernel
 }
 
 // NewLocal returns a local evaluator. blockSize <= 0 selects the automatic
 // size. DistPFor is not a local strategy; use NewCluster.
 func NewLocal(strategy Strategy, blockSize int) (*Local, error) {
+	return NewLocalMode(strategy, blockSize, core.BitsetAuto)
+}
+
+// NewLocalMode is NewLocal with an explicit slice-membership kernel
+// selection (Config.BitsetEval semantics): auto by density, or forced
+// bitset/CSR for ablations and differential tests.
+func NewLocalMode(strategy Strategy, blockSize int, mode core.BitsetMode) (*Local, error) {
 	if strategy == DistPFor {
 		return nil, errors.New("dist: DistPFor requires a cluster; use NewCluster")
 	}
-	return &Local{strategy: strategy, blockSize: blockSize}, nil
+	return &Local{strategy: strategy, blockSize: blockSize, mode: mode}, nil
 }
 
 // Setup implements core.ExternalEvaluator.
 func (l *Local) Setup(_ context.Context, x *matrix.CSR, e []float64) error {
-	l.x = x
-	l.e = e
+	l.kernel = core.NewKernel(x, e, nil, l.mode)
 	return nil
 }
 
 // Eval implements core.ExternalEvaluator.
 func (l *Local) Eval(_ context.Context, cols [][]int, level int) (ss, se, sm []float64, err error) {
-	if l.x == nil {
+	if l.kernel == nil {
 		return nil, nil, nil, errors.New("dist: Eval before Setup")
 	}
 	n := len(cols)
@@ -107,17 +113,17 @@ func (l *Local) Eval(_ context.Context, cols [][]int, level int) (ss, se, sm []f
 	switch l.strategy {
 	case MTOps:
 		// Barrier per block: blocks run strictly one after another, each
-		// internally row-parallel (one "operation" at a time).
+		// internally parallel (one "operation" at a time).
 		for s0 := 0; s0 < n; s0 += b {
 			s1 := s0 + b
 			if s1 > n {
 				s1 = n
 			}
-			core.EvalPartition(l.x, l.e, cols[s0:s1], level, s1-s0, ss[s0:s1], se[s0:s1], sm[s0:s1])
+			l.kernel.Eval(cols[s0:s1], level, s1-s0, ss[s0:s1], se[s0:s1], sm[s0:s1])
 		}
 	case MTPFor:
-		// Parallel for over blocks, no barriers between them.
-		core.EvalPartition(l.x, l.e, cols, level, b, ss, se, sm)
+		// Parallel for over blocks (CSR) or candidates (bitset), no barriers.
+		l.kernel.Eval(cols, level, b, ss, se, sm)
 	}
 	return ss, se, sm, nil
 }
@@ -924,8 +930,14 @@ func (c *Cluster) Close() error {
 // InProcessWorker executes partitions in the driver process; it is the
 // no-network reference worker used by tests and the simulated cluster.
 type InProcessWorker struct {
+	// BitsetEval selects the slice-membership kernel (Config.BitsetEval
+	// semantics) for partitions loaded after it is set; the zero value is
+	// automatic selection by partition density. Like the driver-side knob it
+	// changes execution plan, never results.
+	BitsetEval core.BitsetMode
+
 	mu    sync.Mutex
-	parts map[int]partition
+	parts map[int]*core.Kernel
 }
 
 // Load implements Worker.
@@ -933,16 +945,16 @@ func (w *InProcessWorker) Load(_ context.Context, part int, x *matrix.CSR, e []f
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.parts == nil {
-		w.parts = make(map[int]partition)
+		w.parts = make(map[int]*core.Kernel)
 	}
-	w.parts[part] = partition{x: x, e: e}
+	w.parts[part] = core.NewKernel(x, e, nil, w.BitsetEval)
 	return nil
 }
 
 // Eval implements Worker.
 func (w *InProcessWorker) Eval(_ context.Context, part int, cols [][]int, level, blockSize int) (ss, se, sm []float64, err error) {
 	w.mu.Lock()
-	p, ok := w.parts[part]
+	k, ok := w.parts[part]
 	w.mu.Unlock()
 	if !ok {
 		return nil, nil, nil, fmt.Errorf("dist: worker holds no partition %d", part)
@@ -951,7 +963,7 @@ func (w *InProcessWorker) Eval(_ context.Context, part int, cols [][]int, level,
 	ss = make([]float64, n)
 	se = make([]float64, n)
 	sm = make([]float64, n)
-	core.EvalPartition(p.x, p.e, cols, level, blockSize, ss, se, sm)
+	k.Eval(cols, level, blockSize, ss, se, sm)
 	return ss, se, sm, nil
 }
 

@@ -55,8 +55,9 @@ type PingReply struct{}
 // holds any number of partitions keyed by id, supporting driver-side
 // failover.
 type Service struct {
+	mode  core.BitsetMode
 	mu    sync.Mutex
-	parts map[int]partition
+	parts map[int]*core.Kernel
 	ob    svcObs
 }
 
@@ -72,15 +73,13 @@ func (s *Service) Load(args *LoadArgs, _ *LoadReply) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.parts == nil {
-		s.parts = make(map[int]partition)
+		s.parts = make(map[int]*core.Kernel)
 	}
-	s.parts[args.Part] = partition{
-		x: matrix.NewCSR(args.Rows, args.Cols, args.RowPtr, args.ColIdx, args.Val),
-		e: args.Err,
-	}
+	x := matrix.NewCSR(args.Rows, args.Cols, args.RowPtr, args.ColIdx, args.Val)
+	s.parts[args.Part] = core.NewKernel(x, args.Err, nil, s.mode)
 	rows := 0
-	for _, p := range s.parts {
-		rows += p.x.Rows()
+	for _, k := range s.parts {
+		rows += k.Rows()
 	}
 	s.ob.parts.Set(float64(len(s.parts)))
 	s.ob.rows.Set(float64(rows))
@@ -91,7 +90,7 @@ func (s *Service) Load(args *LoadArgs, _ *LoadReply) error {
 func (s *Service) Eval(args *EvalArgs, reply *EvalReply) error {
 	s.ob.evals.Inc()
 	s.mu.Lock()
-	p, ok := s.parts[args.Part]
+	k, ok := s.parts[args.Part]
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("dist: worker holds no partition %d", args.Part)
@@ -102,7 +101,7 @@ func (s *Service) Eval(args *EvalArgs, reply *EvalReply) error {
 	reply.SE = make([]float64, n)
 	reply.SM = make([]float64, n)
 	start := time.Now()
-	core.EvalPartition(p.x, p.e, args.Cols, args.Level, args.BlockSize, reply.SS, reply.SE, reply.SM)
+	k.Eval(args.Cols, args.Level, args.BlockSize, reply.SS, reply.SE, reply.SM)
 	s.ob.evalSecs.Observe(time.Since(start).Seconds())
 	return nil
 }
@@ -131,13 +130,20 @@ type Server struct {
 	draining bool
 }
 
-// ServerOptions configures a worker RPC server's observability.
+// ServerOptions configures a worker RPC server's observability and kernel
+// selection.
 type ServerOptions struct {
 	// Metrics, when non-nil, receives the worker-side RPC counters, eval
 	// latency histogram and partition/row gauges (the sl_worker_* families).
 	// Expose the registry over HTTP with obs.Handler (see cmd/slworker's
 	// -metrics-addr flag).
 	Metrics *obs.Registry
+
+	// BitsetEval selects the worker-side slice-membership kernel
+	// (Config.BitsetEval semantics) for every partition this server loads;
+	// the zero value is automatic selection by partition density. Exposed as
+	// cmd/slworker's -bitset flag.
+	BitsetEval core.BitsetMode
 }
 
 // NewServer wraps a listener in a worker RPC server; call Serve to run it.
@@ -148,7 +154,7 @@ func NewServer(lis net.Listener) (*Server, error) {
 // NewServerOpts is NewServer with explicit observability options.
 func NewServerOpts(lis net.Listener, opts ServerOptions) (*Server, error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", &Service{ob: newSvcObs(opts.Metrics)}); err != nil {
+	if err := srv.RegisterName("Worker", &Service{mode: opts.BitsetEval, ob: newSvcObs(opts.Metrics)}); err != nil {
 		return nil, err
 	}
 	s := &Server{lis: lis, srv: srv, conns: make(map[net.Conn]struct{})}

@@ -40,10 +40,22 @@ type JobConfig struct {
 	MaxCandidatesPerLevel int     `json:"max_candidates_per_level,omitempty"`
 	PriorityEnumeration   bool    `json:"priority,omitempty"`
 	DenseEval             bool    `json:"dense,omitempty"`
+	// Bitset selects the slice-membership kernel for local evaluation:
+	// "" or "auto" (by density), "on" (packed bitset), "off" (fused CSR).
+	// Like block_size it changes the execution plan, never results, so it
+	// does not participate in the result-cache key.
+	Bitset string `json:"bitset,omitempty"`
 }
 
-// ToCore converts the wire config into a core.Config (hooks unset).
+// ToCore converts the wire config into a core.Config (hooks unset). An
+// invalid Bitset selector maps to an invalid core BitsetMode so that
+// Validate rejects it; DecodeJobSpec reports it with the nicer parse error
+// first.
 func (jc JobConfig) ToCore() core.Config {
+	mode, err := core.ParseBitsetMode(jc.Bitset)
+	if err != nil {
+		mode = core.BitsetMode(-1)
+	}
 	return core.Config{
 		K:                     jc.K,
 		Sigma:                 jc.Sigma,
@@ -53,6 +65,7 @@ func (jc JobConfig) ToCore() core.Config {
 		MaxCandidatesPerLevel: jc.MaxCandidatesPerLevel,
 		PriorityEnumeration:   jc.PriorityEnumeration,
 		DenseEval:             jc.DenseEval,
+		BitsetEval:            mode,
 	}
 }
 
@@ -103,6 +116,9 @@ func (s JobSpec) validate() error {
 	}
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("%w: negative timeout_ms %d", ErrBadJobSpec, s.TimeoutMS)
+	}
+	if _, err := core.ParseBitsetMode(s.Config.Bitset); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadJobSpec, err)
 	}
 	if err := s.Config.ToCore().Validate(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadJobSpec, err)
