@@ -118,7 +118,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sliceline: serving metrics and pprof on http://%s/\n", addr)
 	}
 	if *workers != "" {
-		cluster, err := dialCluster(strings.Split(*workers, ","), dist.Options{
+		addrs, err := dist.ParseWorkerList(*workers)
+		if err != nil {
+			fmt.Fprintln(stderr, "sliceline:", err)
+			return 2
+		}
+		cluster, err := dialCluster(addrs, dist.Options{
 			CallTimeout:       *callTimeout,
 			HedgeDelay:        *hedgeAfter,
 			HedgeMultiplier:   *hedgeMult,

@@ -8,6 +8,14 @@
 //
 //	slserve -addr :8080
 //	slserve -addr :8080 -journal /var/lib/slserve -workers localhost:7071,localhost:7072
+//	slserve -addr :8080 -listen-workers :7070
+//
+// With -listen-workers, the service accepts dynamic fleet membership instead
+// of a static -workers list: slworker processes started with -join announce
+// themselves there, leases expire silent workers, and distributed jobs place
+// partitions on whoever is alive — rebalancing mid-run as members join,
+// crash, or flap, and degrading to driver-local evaluation if the fleet
+// empties. GET /v1/cluster on the main address shows the member table.
 //
 // With -journal, datasets, job records, and per-level enumeration
 // checkpoints persist across restarts: completed jobs are re-served and
@@ -27,11 +35,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"sliceline/internal/dist"
+	"sliceline/internal/membership"
 	"sliceline/internal/obs"
 	"sliceline/internal/server"
 	"sliceline/internal/version"
@@ -50,6 +58,9 @@ func run(args []string) int {
 		jobTimeout   = fs.Duration("job-timeout", 0, "default per-job execution deadline (0 = none; a spec's timeout_ms overrides)")
 		journalDir   = fs.String("journal", "", "persist datasets, jobs and checkpoints in this directory for restart/resume")
 		workers      = fs.String("workers", "", "comma-separated worker addresses for distributed evaluation")
+		listenWork   = fs.String("listen-workers", "", "accept slworker -join announces on this address (dynamic fleet membership)")
+		lease        = fs.Duration("lease", 0, "membership lease renewal interval granted to workers (0 = 2s)")
+		leaseStrikes = fs.Int("lease-strikes", 0, "missed lease scans before a silent worker is expelled (0 = 3)")
 		callTimeout  = fs.Duration("call-timeout", 0, "per-RPC deadline for distributed workers (0 = none)")
 		hedgeAfter   = fs.Duration("hedge-after", 0, "speculatively re-execute a partition stuck longer than this (0 = off)")
 		hedgeMult    = fs.Float64("hedge-mult", 0, "adaptive hedging: straggler threshold as a multiple of the level median (0 = off)")
@@ -80,7 +91,29 @@ func run(args []string) int {
 		},
 	}
 	if *workers != "" {
-		cfg.DistWorkers = strings.Split(*workers, ",")
+		list, err := dist.ParseWorkerList(*workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slserve:", err)
+			return 2
+		}
+		cfg.DistWorkers = list
+	}
+	if *listenWork != "" {
+		reg := membership.NewRegistrar(membership.RegistrarConfig{
+			LeaseInterval: *lease,
+			Strikes:       *leaseStrikes,
+			Metrics:       cfg.Metrics,
+		})
+		reg.Start()
+		defer reg.Close()
+		msrv, maddr, err := serveMembership(*listenWork, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slserve:", err)
+			return 1
+		}
+		defer msrv.Close()
+		cfg.Membership = reg
+		fmt.Printf("slserve: accepting worker announces on http://%s%s\n", maddr, membership.AnnouncePath)
 	}
 	var tracer *obs.JSONTracer
 	if *tracePath != "" {
@@ -135,6 +168,19 @@ func run(args []string) int {
 	}
 	fmt.Fprintln(os.Stderr, "slserve: drained")
 	return 0
+}
+
+// serveMembership mounts the announce endpoint on its own listener, so the
+// worker-facing surface can sit on an internal interface while the client
+// API faces out.
+func serveMembership(addr string, reg *membership.Registrar) (*http.Server, string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: membership.Handler(reg)}
+	go func() { _ = srv.Serve(lis) }()
+	return srv, lis.Addr().String(), nil
 }
 
 func writeTrace(path string, tr *obs.JSONTracer) error {

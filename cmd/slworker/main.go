@@ -7,6 +7,12 @@
 //	slworker -addr :7072 &
 //	sliceline -dataset adult -workers localhost:7071,localhost:7072
 //
+// With -join, the worker instead announces itself to a driver's membership
+// endpoint (slserve -listen-workers) and keeps its lease renewed, so the
+// fleet self-forms and the driver needs no -workers list:
+//
+//	slworker -addr :7071 -join http://driver:7070
+//
 // On SIGINT or SIGTERM the worker drains gracefully: it stops accepting
 // connections, finishes the evaluations already in flight (so no driver is
 // left holding a torn half-written reply), then exits 0. If the drain
@@ -26,6 +32,7 @@ import (
 
 	"sliceline/internal/core"
 	"sliceline/internal/dist"
+	"sliceline/internal/membership"
 	"sliceline/internal/obs"
 	"sliceline/internal/version"
 )
@@ -35,6 +42,10 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight calls on SIGTERM/SIGINT")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address")
 	bitset := flag.String("bitset", "auto", "slice-membership kernel: auto (by partition density), on (packed bitset), off (fused CSR)")
+	join := flag.String("join", "", "driver membership URL (e.g. http://driver:7070): announce this worker and keep the lease renewed")
+	id := flag.String("id", "", "stable member identity for -join (default: the advertised address)")
+	advertise := flag.String("advertise", "", "address the driver should dial for -join (default: derived from -addr)")
+	maxParts := flag.Int("max-parts", 0, "max partitions held before LRU eviction (0 = unbounded)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *showVersion {
@@ -52,7 +63,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "slworker:", err)
 		os.Exit(1)
 	}
-	opts := dist.ServerOptions{BitsetEval: mode}
+	opts := dist.ServerOptions{BitsetEval: mode, MaxPartitions: *maxParts}
 	if *metricsAddr != "" {
 		opts.Metrics = obs.NewRegistry()
 		msrv, maddr, err := obs.Serve(*metricsAddr, opts.Metrics)
@@ -69,6 +80,28 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("slworker: serving on %s\n", lis.Addr())
+
+	joinCtx, stopJoin := context.WithCancel(context.Background())
+	defer stopJoin()
+	if *join != "" {
+		self, err := selfMember(*id, *advertise, lis.Addr())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slworker:", err)
+			os.Exit(2)
+		}
+		ann := membership.NewAnnouncer(membership.AnnouncerConfig{
+			Self:      self,
+			Transport: membership.HTTPTransport(*join, nil),
+			OnStateChange: func(connected bool) {
+				if connected {
+					fmt.Fprintf(os.Stderr, "slworker: joined fleet at %s as %s\n", *join, self.ID)
+				} else {
+					fmt.Fprintf(os.Stderr, "slworker: lost driver at %s, re-announcing with backoff\n", *join)
+				}
+			},
+		})
+		go ann.Run(joinCtx)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -91,5 +124,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "slworker: drained")
+		stopJoin() // leave the lease to expire; the driver rebalances off us
 	}
+}
+
+// selfMember assembles the identity this worker announces. The incarnation is
+// the process start time, so a restart (new process, same ID) supersedes the
+// old registration and the driver knows not to trust stale warm state.
+func selfMember(id, advertise string, lis net.Addr) (membership.Member, error) {
+	if advertise == "" {
+		host, port, err := net.SplitHostPort(lis.String())
+		if err != nil {
+			return membership.Member{}, fmt.Errorf("deriving advertise address from %s: %w", lis, err)
+		}
+		if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+			// Listening on all interfaces: advertise the hostname, which is
+			// what other nodes can actually dial.
+			if host, err = os.Hostname(); err != nil {
+				return membership.Member{}, fmt.Errorf("resolving hostname for advertise address: %w", err)
+			}
+		}
+		advertise = net.JoinHostPort(host, port)
+	}
+	if id == "" {
+		id = advertise
+	}
+	return membership.Member{ID: id, Addr: advertise, Incarnation: uint64(time.Now().UnixNano())}, nil
 }

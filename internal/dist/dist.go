@@ -39,6 +39,7 @@ import (
 
 	"sliceline/internal/core"
 	"sliceline/internal/matrix"
+	"sliceline/internal/membership"
 	"sliceline/internal/obs"
 )
 
@@ -168,6 +169,30 @@ type Options struct {
 	// defaults to 2.
 	HeartbeatStrikes int
 
+	// Partitions, when > 0, fixes the row-partition count independent of the
+	// worker count (still clamped to the row count). A fixed count keeps the
+	// deterministic partition-order merge — and therefore the result bits —
+	// stable while workers join and leave mid-run; it is mandatory in elastic
+	// clusters, where the worker count is not a constant. 0 selects the
+	// legacy one-partition-per-worker split.
+	Partitions int
+
+	// PlacementSeed, when non-zero, content-addresses partitions: the wire
+	// partition key becomes a pure function of (seed, partition count,
+	// partition index) instead of the bare index. Keyed this way, a worker's
+	// partition cache is addressable across jobs and restarts — a rejoining
+	// worker that still holds a key re-attaches warm instead of being
+	// re-shipped the rows. Use the dataset's content signature as the seed.
+	PlacementSeed uint64
+
+	// LocalFallback, when set, degrades gracefully instead of failing the
+	// run when no live worker remains for a partition: the driver evaluates
+	// that partition itself with the same kernel a worker would use, so the
+	// results stay bit-identical and the job completes (slower) rather than
+	// erroring. Each degraded partition evaluation increments
+	// sl_dist_degraded_total and leaves a span event.
+	LocalFallback bool
+
 	// Tracer, when non-nil, receives spans for cluster setup, heartbeat
 	// evictions, and — when the driver's run context does not already carry a
 	// span — evaluations. RPC and partition spans parent under the context's
@@ -203,16 +228,26 @@ func (o Options) withDefaults() Options {
 // retains the partitions it shipped at Setup), so a run survives up to
 // len(workers)-1 crashes.
 type Cluster struct {
-	workers []Worker
-	opts    Options
-	ob      distObs
+	opts Options
+	ob   distObs
+
+	// elastic marks a membership-driven cluster (see ElasticCluster): the
+	// worker slice grows as members join, liveness survives Setup (the
+	// membership view is the authority, not Setup), and place chooses each
+	// partition's preferred worker.
+	elastic bool
+	place   func(part, nParts int) int // preferred worker for a partition, -1 for none
+	warm    func(key, wi int) bool     // true when worker wi already holds wire key
 
 	mu      sync.Mutex
+	workers []Worker // append-only in elastic clusters; index = worker slot
 	ready   bool
 	alive   []bool
 	strikes []int       // consecutive failed heartbeat probes per worker
 	parts   []partition // partition p as shipped at Setup
-	assign  []int       // partition p → worker index currently holding it
+	assign  []int       // partition p → worker slot holding it, -1 = driver-local
+	keys    []int       // partition p → wire key (content-addressed when seeded)
+	local   []*core.Kernel
 
 	hbStop chan struct{}
 	hbDone chan struct{}
@@ -280,10 +315,16 @@ func (c *Cluster) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
 	sp := c.startSpan(ctx, "dist.setup")
 	defer sp.End()
 	n := x.Rows()
-	w := len(c.workers)
+	w := c.workerCount()
 	nParts := w
+	if c.opts.Partitions > 0 {
+		nParts = c.opts.Partitions
+	}
 	if n < nParts {
 		nParts = n
+	}
+	if w == 0 && !c.opts.LocalFallback {
+		return errors.New("dist: cluster has no workers")
 	}
 	sp.SetInt("workers", int64(w))
 	sp.SetInt("rows", int64(n))
@@ -291,13 +332,29 @@ func (c *Cluster) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
 	c.ob.partitions.Set(float64(nParts))
 	c.mu.Lock()
 	c.ready = false
-	c.alive = make([]bool, w)
-	for k := range c.alive {
-		c.alive[k] = true
+	if !c.elastic {
+		// Static cluster: Setup is the liveness authority and every worker
+		// starts presumed-live. An elastic cluster's liveness belongs to the
+		// membership view and survives re-Setups.
+		c.alive = make([]bool, w)
+		for k := range c.alive {
+			c.alive[k] = true
+		}
+		c.strikes = make([]int, w)
 	}
-	c.strikes = make([]int, w)
 	c.parts = c.parts[:0]
 	c.assign = c.assign[:0]
+	c.keys = c.keys[:0]
+	c.local = nil
+	for p := 0; p < nParts; p++ {
+		if c.opts.PlacementSeed != 0 {
+			// Clearing the top bit keeps the key a non-negative int while
+			// preserving 63 bits of the content address.
+			c.keys = append(c.keys, int(membership.PartitionKey(c.opts.PlacementSeed, nParts, p)>>1))
+		} else {
+			c.keys = append(c.keys, p)
+		}
+	}
 	c.mu.Unlock()
 	base, rem := 0, 0
 	if nParts > 0 {
@@ -311,11 +368,35 @@ func (c *Cluster) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
 		}
 		hi := lo + size
 		part := partition{x: x.SelectRows(seq(lo, hi)), e: e[lo:hi]}
-		// Prefer worker k, but a worker whose initial Load fails is marked
-		// dead and its partition shipped to another live one — a cluster
-		// with a dead member at startup still comes up.
-		wi := k
-		for {
+		// Prefer the placed worker (ring owner in elastic clusters, index
+		// modulo worker count otherwise), but a worker whose initial Load
+		// fails is marked dead and its partition shipped to another live one
+		// — a cluster with a dead member at startup still comes up.
+		wi := -1
+		switch {
+		case c.place != nil:
+			wi = c.place(k, nParts)
+		case w > 0:
+			wi = k % w
+		}
+		if wi >= 0 && !c.isAlive(wi) {
+			wi = c.nextLive(-1)
+		}
+		// Content-addressed keys let Setup re-attach without re-shipping: a
+		// worker that still caches this exact partition from an earlier job
+		// (or before a flap) reports warm and keeps it. A stale claim is
+		// harmless — the first Eval on it fails and reloads in place.
+		if wi >= 0 && c.warm != nil && c.opts.PlacementSeed != 0 && c.warm(c.wireKey(k), wi) {
+			sp.Event(fmt.Sprintf("partition %d re-attached warm on worker %d", k, wi))
+			c.ob.warmAttach.Inc()
+			c.mu.Lock()
+			c.parts = append(c.parts, part)
+			c.assign = append(c.assign, wi)
+			c.mu.Unlock()
+			lo = hi
+			continue
+		}
+		for wi >= 0 {
 			err := c.loadRPC(ctx, sp, wi, k, part)
 			if err == nil {
 				break
@@ -325,9 +406,15 @@ func (c *Cluster) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
 			}
 			sp.Event(fmt.Sprintf("worker %d failed initial load, failing over", wi))
 			c.markDead(wi)
-			if wi = c.nextLive(-1); wi < 0 {
+			if wi = c.nextLive(-1); wi < 0 && !c.opts.LocalFallback {
 				return fmt.Errorf("dist: no live worker accepts partition %d: %w", k, err)
 			}
+		}
+		if wi < 0 && !c.opts.LocalFallback {
+			return fmt.Errorf("dist: no live worker accepts partition %d", k)
+		}
+		if wi < 0 {
+			sp.Event(fmt.Sprintf("partition %d held on the driver (no live workers)", k))
 		}
 		c.mu.Lock()
 		c.parts = append(c.parts, part)
@@ -340,6 +427,75 @@ func (c *Cluster) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
 	c.mu.Unlock()
 	c.startHeartbeat()
 	return nil
+}
+
+// workerCount returns the current worker-slot count (elastic clusters grow).
+func (c *Cluster) workerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// workerAt snapshots one worker slot; the slice is append-only, so the
+// returned Worker stays valid without holding the lock across the RPC.
+func (c *Cluster) workerAt(wi int) Worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.workers[wi]
+}
+
+func (c *Cluster) isAlive(wi int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return wi >= 0 && wi < len(c.alive) && c.alive[wi]
+}
+
+// wireKey maps a partition index to the key used on the Worker interface:
+// the bare index, or the content address when PlacementSeed is set. keys is
+// written once per Setup before ready flips, then read-only.
+func (c *Cluster) wireKey(p int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.keys[p]
+}
+
+// addWorker appends a worker slot (the elastic membership join path) and
+// returns its index. Slots are never removed — a departed member's slot is
+// marked dead so partition assignments stay dense integers.
+func (c *Cluster) addWorker(w Worker) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers = append(c.workers, w)
+	c.alive = append(c.alive, true)
+	c.strikes = append(c.strikes, 0)
+	return len(c.workers) - 1
+}
+
+// reviveWorker marks a slot live again (a member rejoined).
+func (c *Cluster) reviveWorker(wi int) {
+	c.mu.Lock()
+	was := c.alive[wi]
+	c.alive[wi] = true
+	c.strikes[wi] = 0
+	c.mu.Unlock()
+	if !was {
+		c.ob.resurrections.Inc()
+	}
+}
+
+func (c *Cluster) assignOf(p int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.assign[p]
+}
+
+func (c *Cluster) partitionCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.ready {
+		return 0
+	}
+	return len(c.parts)
 }
 
 // Eval broadcasts the candidates, evaluates every partition concurrently,
@@ -444,7 +600,7 @@ func (c *Cluster) tryEval(ctx context.Context, wi, p int, cols [][]int, level in
 	}()
 	cctx, cancel := c.callCtx(obs.ContextWith(ctx, sp))
 	defer cancel()
-	ss, se, sm, err = c.workers[wi].Eval(cctx, p, cols, level, c.opts.BlockSize)
+	ss, se, sm, err = c.workerAt(wi).Eval(cctx, c.wireKey(p), cols, level, c.opts.BlockSize)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -498,7 +654,7 @@ func (c *Cluster) loadRPC(ctx context.Context, parent *obs.Span, wi, p int, part
 	}()
 	lctx, cancel := c.callCtx(obs.ContextWith(ctx, sp))
 	defer cancel()
-	return c.workers[wi].Load(lctx, p, part.x, part.e)
+	return c.workerAt(wi).Load(lctx, c.wireKey(p), part.x, part.e)
 }
 
 func (c *Cluster) markDead(wi int) {
@@ -537,7 +693,7 @@ func (c *Cluster) nextLive(avoid int) int {
 // assignment.
 func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, level, avoid int) (ss, se, sm []float64, winner int, err error) {
 	sp := obs.FromContext(ctx) // the partition (or hedge) span, nil when tracing is off
-	for attempt := 0; attempt <= len(c.workers); attempt++ {
+	for attempt := 0; attempt <= c.workerCount(); attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
 			if err == nil {
 				err = cerr
@@ -546,7 +702,7 @@ func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, l
 		}
 		c.mu.Lock()
 		wi := c.assign[p]
-		ok := c.alive[wi] && wi != avoid
+		ok := wi >= 0 && c.alive[wi] && wi != avoid
 		c.mu.Unlock()
 		if ok {
 			ss, se, sm, err = c.tryEval(ctx, wi, p, cols, level)
@@ -582,6 +738,16 @@ func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, l
 		// Find a healthy worker, reship the partition, and retry.
 		next := c.nextLive(avoid)
 		if next < 0 {
+			if c.opts.LocalFallback {
+				// The fleet is gone (or never arrived): evaluate the
+				// partition on the driver with the same kernel a worker
+				// would use, so the run completes degraded with
+				// bit-identical statistics instead of erroring.
+				sp.Event(fmt.Sprintf("degraded: evaluating partition %d on the driver", p))
+				c.ob.degraded.Inc()
+				ss, se, sm = c.evalLocal(p, cols, level)
+				return ss, se, sm, -1, nil
+			}
 			if err == nil {
 				err = errors.New("dist: worker unavailable")
 			}
@@ -603,7 +769,38 @@ func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, l
 			continue
 		}
 	}
+	if c.opts.LocalFallback && ctx.Err() == nil {
+		sp.Event(fmt.Sprintf("degraded: partition %d failed on every worker, evaluating on the driver", p))
+		c.ob.degraded.Inc()
+		ss, se, sm = c.evalLocal(p, cols, level)
+		return ss, se, sm, -1, nil
+	}
 	return nil, nil, nil, -1, fmt.Errorf("dist: partition %d failed on every worker: %w", p, err)
+}
+
+// evalLocal evaluates one partition on the driver — the degraded path when
+// no worker can take it. It uses the same kernel construction as
+// InProcessWorker and the worker-side Service (automatic bitset selection),
+// so a degraded run's statistics are bit-identical to a healthy one's. The
+// kernel is built lazily on first degradation and cached per partition.
+func (c *Cluster) evalLocal(p int, cols [][]int, level int) (ss, se, sm []float64) {
+	c.mu.Lock()
+	if c.local == nil {
+		c.local = make([]*core.Kernel, len(c.parts))
+	}
+	k := c.local[p]
+	if k == nil {
+		part := c.parts[p]
+		k = core.NewKernel(part.x, part.e, nil, core.BitsetAuto)
+		c.local[p] = k
+	}
+	c.mu.Unlock()
+	n := len(cols)
+	ss = make([]float64, n)
+	se = make([]float64, n)
+	sm = make([]float64, n)
+	k.Eval(cols, level, c.opts.BlockSize, ss, se, sm)
+	return ss, se, sm
 }
 
 // hedger tracks completed-partition durations within one Eval (one lattice
@@ -831,7 +1028,10 @@ func (c *Cluster) heartbeatLoop(stop, done chan struct{}) {
 // again is resurrected into the rotation (its partitions were already moved;
 // it serves as a failover/hedge target until one lands on it).
 func (c *Cluster) probeAll(stop chan struct{}) {
-	for wi := range c.workers {
+	c.mu.Lock()
+	workers := append([]Worker(nil), c.workers...)
+	c.mu.Unlock()
+	for wi := range workers {
 		select {
 		case <-stop:
 			return
@@ -839,7 +1039,7 @@ func (c *Cluster) probeAll(stop chan struct{}) {
 		}
 		pctx, cancel := context.WithTimeout(context.Background(), c.opts.HeartbeatTimeout)
 		pstart := time.Now()
-		err := c.workers[wi].Ping(pctx)
+		err := workers[wi].Ping(pctx)
 		cancel()
 		c.ob.pingSecs.Observe(time.Since(pstart).Seconds())
 		c.mu.Lock()
@@ -918,8 +1118,11 @@ func (c *Cluster) reshipFrom(dead int, sp *obs.Span) {
 // first error.
 func (c *Cluster) Close() error {
 	c.stopHeartbeat()
+	c.mu.Lock()
+	workers := append([]Worker(nil), c.workers...)
+	c.mu.Unlock()
 	var first error
-	for _, wk := range c.workers {
+	for _, wk := range workers {
 		if err := wk.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -969,6 +1172,19 @@ func (w *InProcessWorker) Eval(_ context.Context, part int, cols [][]int, level,
 
 // Ping implements Worker.
 func (w *InProcessWorker) Ping(context.Context) error { return nil }
+
+// Parts implements PartitionLister: the partition keys this worker holds,
+// sorted for determinism.
+func (w *InProcessWorker) Parts(context.Context) ([]int, error) {
+	w.mu.Lock()
+	keys := make([]int, 0, len(w.parts))
+	for key := range w.parts {
+		keys = append(keys, key)
+	}
+	w.mu.Unlock()
+	sort.Ints(keys)
+	return keys, nil
+}
 
 // Close implements Worker.
 func (w *InProcessWorker) Close() error { return nil }

@@ -27,6 +27,13 @@ type distObs struct {
 	resurrections *obs.Counter
 	reships       *obs.Counter
 
+	joins      *obs.Counter
+	leaves     *obs.Counter
+	rebalances *obs.Counter
+	warmAttach *obs.Counter
+	degraded   *obs.Counter
+	members    *obs.Gauge
+
 	partitions *obs.Gauge
 	inflight   []*obs.Gauge // per worker, sl_dist_worker_inflight{worker="N"}
 }
@@ -50,6 +57,13 @@ func newDistObs(r *obs.Registry, workers int) distObs {
 		evictions:     r.Counter("sl_dist_evictions_total", "Workers evicted by the heartbeat checker."),
 		resurrections: r.Counter("sl_dist_resurrections_total", "Dead workers resurrected by a successful probe."),
 		reships:       r.Counter("sl_dist_reships_total", "Partitions proactively re-shipped off suspect workers."),
+
+		joins:      r.Counter("sl_dist_member_joins_total", "Fleet members joined or rejoined via a membership view."),
+		leaves:     r.Counter("sl_dist_member_leaves_total", "Fleet members departed from a membership view."),
+		rebalances: r.Counter("sl_dist_rebalances_total", "Partitions moved by membership-driven rebalancing."),
+		warmAttach: r.Counter("sl_dist_warm_attach_total", "Partitions re-attached to a warm rejoining worker without re-shipping."),
+		degraded:   r.Counter("sl_dist_degraded_total", "Partition evaluations degraded to the driver after full fleet loss."),
+		members:    r.Gauge("sl_dist_members", "Live fleet members known to the elastic cluster."),
 
 		partitions: r.Gauge("sl_dist_partitions", "Row partitions shipped at Setup."),
 	}
@@ -75,13 +89,14 @@ func (d *distObs) inflightFor(wi int) *obs.Gauge {
 // svcObs bundles the worker-process-side metric handles of a Service. Like
 // distObs, the zero value (nil registry) is fully inert.
 type svcObs struct {
-	loads    *obs.Counter
-	evals    *obs.Counter
-	pings    *obs.Counter
-	evalSecs *obs.Histogram
-	cands    *obs.Counter
-	parts    *obs.Gauge
-	rows     *obs.Gauge
+	loads        *obs.Counter
+	evals        *obs.Counter
+	pings        *obs.Counter
+	evalSecs     *obs.Histogram
+	cands        *obs.Counter
+	parts        *obs.Gauge
+	rows         *obs.Gauge
+	evictedParts *obs.Counter
 }
 
 func newSvcObs(r *obs.Registry) svcObs {
@@ -94,6 +109,8 @@ func newSvcObs(r *obs.Registry) svcObs {
 		cands:    r.Counter("sl_worker_candidates_total", "Slice candidates evaluated by this worker."),
 		parts:    r.Gauge("sl_worker_partitions", "Partitions currently loaded on this worker."),
 		rows:     r.Gauge("sl_worker_rows", "Total rows across loaded partitions."),
+		evictedParts: r.Counter("sl_worker_evicted_partitions_total",
+			"Partitions dropped by the worker-side LRU cap."),
 	}
 }
 

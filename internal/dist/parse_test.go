@@ -1,0 +1,39 @@
+package dist
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseWorkerList(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []string
+		wantErr string
+	}{
+		{in: "a:1,b:2", want: []string{"a:1", "b:2"}},
+		{in: " a:1 , b:2 ", want: []string{"a:1", "b:2"}}, // whitespace trimmed
+		{in: "a:1,,b:2,", want: []string{"a:1", "b:2"}},   // empties dropped
+		{in: ",,,", wantErr: "no worker addresses"},       // nothing left
+		{in: "", wantErr: "no worker addresses"},          //
+		{in: "a:1,b:2,a:1", wantErr: `duplicate worker address "a:1"`},
+		{in: "a:1, a:1", wantErr: `duplicate worker address "a:1"`}, // dup after trim
+	}
+	for _, tc := range cases {
+		got, err := ParseWorkerList(tc.in)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseWorkerList(%q) error = %v, want containing %q", tc.in, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseWorkerList(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseWorkerList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"math/rand"
 	"net"
 	"net/rpc"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -50,15 +52,37 @@ type PingArgs struct{}
 // PingReply is the (empty) response of the liveness probe.
 type PingReply struct{}
 
+// PartsArgs is the (empty) request of the held-partition query.
+type PartsArgs struct{}
+
+// PartsReply lists the partition keys a worker currently holds. The elastic
+// cluster asks a rejoining worker so warm partitions re-attach by key
+// instead of being re-shipped.
+type PartsReply struct {
+	Keys []int
+}
+
+// PartitionLister is the optional Worker capability behind warm re-attach:
+// a worker that can report which partition keys it holds lets the elastic
+// cluster skip re-shipping data a rejoining member never lost.
+type PartitionLister interface {
+	Parts(ctx context.Context) ([]int, error)
+}
+
 // Service is the RPC service a worker process exposes. Register it with
 // net/rpc and serve on a TCP listener (see Serve and cmd/slworker). It
 // holds any number of partitions keyed by id, supporting driver-side
-// failover.
+// failover. With content-addressed keys the held set accrues across jobs
+// (that is what makes rejoins warm), so maxParts bounds it with
+// least-recently-used eviction.
 type Service struct {
-	mode  core.BitsetMode
-	mu    sync.Mutex
-	parts map[int]*core.Kernel
-	ob    svcObs
+	mode     core.BitsetMode
+	maxParts int
+	mu       sync.Mutex
+	parts    map[int]*core.Kernel
+	lastUse  map[int]uint64
+	useSeq   uint64
+	ob       svcObs
 }
 
 // Load implements the worker side of partition shipping.
@@ -74,9 +98,14 @@ func (s *Service) Load(args *LoadArgs, _ *LoadReply) error {
 	defer s.mu.Unlock()
 	if s.parts == nil {
 		s.parts = make(map[int]*core.Kernel)
+		s.lastUse = make(map[int]uint64)
+	}
+	if _, held := s.parts[args.Part]; !held && s.maxParts > 0 && len(s.parts) >= s.maxParts {
+		s.evictLRULocked()
 	}
 	x := matrix.NewCSR(args.Rows, args.Cols, args.RowPtr, args.ColIdx, args.Val)
 	s.parts[args.Part] = core.NewKernel(x, args.Err, nil, s.mode)
+	s.touchLocked(args.Part)
 	rows := 0
 	for _, k := range s.parts {
 		rows += k.Rows()
@@ -86,11 +115,34 @@ func (s *Service) Load(args *LoadArgs, _ *LoadReply) error {
 	return nil
 }
 
+// evictLRULocked drops the least-recently-used partition to make room.
+func (s *Service) evictLRULocked() {
+	victim, best := -1, uint64(0)
+	for key, seq := range s.lastUse {
+		if victim < 0 || seq < best {
+			victim, best = key, seq
+		}
+	}
+	if victim >= 0 {
+		delete(s.parts, victim)
+		delete(s.lastUse, victim)
+		s.ob.evictedParts.Inc()
+	}
+}
+
+func (s *Service) touchLocked(key int) {
+	s.useSeq++
+	s.lastUse[key] = s.useSeq
+}
+
 // Eval implements the worker side of candidate evaluation.
 func (s *Service) Eval(args *EvalArgs, reply *EvalReply) error {
 	s.ob.evals.Inc()
 	s.mu.Lock()
 	k, ok := s.parts[args.Part]
+	if ok {
+		s.touchLocked(args.Part)
+	}
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("dist: worker holds no partition %d", args.Part)
@@ -110,6 +162,19 @@ func (s *Service) Eval(args *EvalArgs, reply *EvalReply) error {
 // cluster's background health checker.
 func (s *Service) Ping(_ *PingArgs, _ *PingReply) error {
 	s.ob.pings.Inc()
+	return nil
+}
+
+// Parts implements the worker side of the held-partition query (warm
+// re-attach reconciliation). Keys are returned sorted for determinism.
+func (s *Service) Parts(_ *PartsArgs, reply *PartsReply) error {
+	s.mu.Lock()
+	reply.Keys = make([]int, 0, len(s.parts))
+	for key := range s.parts {
+		reply.Keys = append(reply.Keys, key)
+	}
+	s.mu.Unlock()
+	sort.Ints(reply.Keys)
 	return nil
 }
 
@@ -144,6 +209,12 @@ type ServerOptions struct {
 	// the zero value is automatic selection by partition density. Exposed as
 	// cmd/slworker's -bitset flag.
 	BitsetEval core.BitsetMode
+
+	// MaxPartitions bounds how many partitions this worker holds at once;
+	// the least-recently-used one is evicted to make room. Content-addressed
+	// keys accrue across jobs (that is what makes rejoins warm), so
+	// long-lived fleet workers should set a cap. <= 0 means unbounded.
+	MaxPartitions int
 }
 
 // NewServer wraps a listener in a worker RPC server; call Serve to run it.
@@ -154,7 +225,7 @@ func NewServer(lis net.Listener) (*Server, error) {
 // NewServerOpts is NewServer with explicit observability options.
 func NewServerOpts(lis net.Listener, opts ServerOptions) (*Server, error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", &Service{mode: opts.BitsetEval, ob: newSvcObs(opts.Metrics)}); err != nil {
+	if err := srv.RegisterName("Worker", &Service{mode: opts.BitsetEval, maxParts: opts.MaxPartitions, ob: newSvcObs(opts.Metrics)}); err != nil {
 		return nil, err
 	}
 	s := &Server{lis: lis, srv: srv, conns: make(map[net.Conn]struct{})}
@@ -561,6 +632,41 @@ func (w *RemoteWorker) Eval(ctx context.Context, part int, cols [][]int, level, 
 // Ping implements Worker.
 func (w *RemoteWorker) Ping(ctx context.Context) error {
 	return w.call(ctx, "Worker.Ping", &PingArgs{}, &PingReply{})
+}
+
+// Parts implements PartitionLister: the partition keys the worker process
+// currently holds.
+func (w *RemoteWorker) Parts(ctx context.Context) ([]int, error) {
+	var reply PartsReply
+	if err := w.call(ctx, "Worker.Parts", &PartsArgs{}, &reply); err != nil {
+		return nil, fmt.Errorf("dist: parts on %s: %w", w.addr, err)
+	}
+	return reply.Keys, nil
+}
+
+// ParseWorkerList parses a comma-separated -workers flag value into a clean
+// address list: entries are trimmed, empty entries are dropped, a value with
+// no addresses at all is an error, and duplicate addresses are rejected — a
+// duplicate would silently halve a static cluster's capacity by shipping two
+// partitions to one process.
+func ParseWorkerList(s string) ([]string, error) {
+	var out []string
+	seen := make(map[string]struct{})
+	for _, raw := range strings.Split(s, ",") {
+		addr := strings.TrimSpace(raw)
+		if addr == "" {
+			continue
+		}
+		if _, dup := seen[addr]; dup {
+			return nil, fmt.Errorf("dist: duplicate worker address %q", addr)
+		}
+		seen[addr] = struct{}{}
+		out = append(out, addr)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("dist: no worker addresses in list")
+	}
+	return out, nil
 }
 
 // Close implements Worker.

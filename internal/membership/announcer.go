@@ -1,0 +1,134 @@
+package membership
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Transport delivers one announce to the driver and returns its reply. The
+// HTTP implementation is HTTPTransport; tests inject function values that
+// call a Registrar directly.
+type Transport func(ctx context.Context, a Announce) (AnnounceReply, error)
+
+// AnnouncerConfig configures a worker-side lease loop.
+type AnnouncerConfig struct {
+	// Self is the member this announcer advertises.
+	Self Member
+	// Transport delivers announces; required.
+	Transport Transport
+	// Interval is the renewal cadence before the first successful announce
+	// (after which the driver's lease interval governs: renew at half the
+	// granted lease, so one lost message never costs a strike). <= 0
+	// selects 1s.
+	Interval time.Duration
+	// BaseBackoff is the first retry delay after a failed announce; it
+	// doubles per consecutive failure with full jitter on the upper half, so
+	// a fleet that lost the same driver does not re-announce in lockstep.
+	// <= 0 selects 200ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the growing backoff. <= 0 selects 5s.
+	MaxBackoff time.Duration
+	// OnStateChange, when non-nil, is called with true when an announce
+	// succeeds after a failure (or at first contact) and false when one
+	// fails after a success — a hook for logging reconnects.
+	OnStateChange func(connected bool)
+}
+
+func (c AnnouncerConfig) withDefaults() AnnouncerConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 200 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	return c
+}
+
+// Announcer keeps one worker's lease alive: announce, sleep half a lease,
+// renew, forever. Failures back off exponentially with jitter and keep
+// retrying — a worker that outlives a driver restart re-registers by itself
+// the moment the driver is back, and a worker expired during a network flap
+// rejoins with its next successful renewal. Run blocks until the context is
+// cancelled.
+type Announcer struct {
+	cfg AnnouncerConfig
+
+	mu        sync.Mutex
+	announces int
+	failures  int
+	connected bool
+}
+
+// NewAnnouncer builds an announcer; call Run to start the lease loop.
+func NewAnnouncer(cfg AnnouncerConfig) *Announcer {
+	return &Announcer{cfg: cfg.withDefaults()}
+}
+
+// Announces reports how many successful announces the loop has delivered.
+func (a *Announcer) Announces() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.announces
+}
+
+// Run drives the lease loop until ctx is cancelled. It never returns an
+// error: every failure is retried with backoff, because the only correct
+// response of a fleet worker to a missing driver is to keep knocking.
+func (a *Announcer) Run(ctx context.Context) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := a.cfg.BaseBackoff
+	wait := time.Duration(0) // announce immediately on start
+	for {
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+		}
+		actx, cancel := context.WithTimeout(ctx, a.cfg.MaxBackoff)
+		reply, err := a.cfg.Transport(actx, Announce{Member: a.cfg.Self})
+		cancel()
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			a.setConnected(false)
+			a.mu.Lock()
+			a.failures++
+			a.mu.Unlock()
+			// Full jitter on the upper half, like the dist redial.
+			wait = backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+			if backoff *= 2; backoff > a.cfg.MaxBackoff {
+				backoff = a.cfg.MaxBackoff
+			}
+			continue
+		}
+		a.setConnected(true)
+		a.mu.Lock()
+		a.announces++
+		a.mu.Unlock()
+		backoff = a.cfg.BaseBackoff
+		// Renew at half the granted lease so one lost announce costs at
+		// most a strike, never the membership.
+		wait = a.cfg.Interval
+		if lease := time.Duration(reply.LeaseMS) * time.Millisecond; lease > 0 {
+			wait = lease / 2
+		}
+	}
+}
+
+func (a *Announcer) setConnected(ok bool) {
+	a.mu.Lock()
+	changed := a.connected != ok
+	a.connected = ok
+	a.mu.Unlock()
+	if changed && a.cfg.OnStateChange != nil {
+		a.cfg.OnStateChange(ok)
+	}
+}

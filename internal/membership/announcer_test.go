@@ -1,0 +1,160 @@
+package membership
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTransport records announces and serves scripted replies: calls in the
+// [failLo, failHi] window (1-based) fail, everything else succeeds.
+type fakeTransport struct {
+	mu             sync.Mutex
+	calls          int
+	failLo, failHi int
+	leaseMS        int64
+	gotInc         []uint64
+}
+
+func (f *fakeTransport) send(_ context.Context, a Announce) (AnnounceReply, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	f.gotInc = append(f.gotInc, a.Incarnation)
+	if f.calls >= f.failLo && f.calls <= f.failHi {
+		return AnnounceReply{}, errors.New("driver down")
+	}
+	return AnnounceReply{LeaseMS: f.leaseMS, Strikes: 3, Version: uint64(f.calls)}, nil
+}
+
+func (f *fakeTransport) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func TestAnnouncerRenewsAtHalfLease(t *testing.T) {
+	ft := &fakeTransport{leaseMS: 20} // renew every 10ms
+	a := NewAnnouncer(AnnouncerConfig{
+		Self:      mem("w1", "h:1", 1),
+		Transport: ft.send,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { a.Run(ctx); close(done) }()
+
+	deadline := time.After(2 * time.Second)
+	for a.Announces() < 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d announces delivered", a.Announces())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	for _, inc := range ft.gotInc {
+		if inc != 1 {
+			t.Fatalf("announcer changed the incarnation: %v", ft.gotInc)
+		}
+	}
+}
+
+func TestAnnouncerRetriesThroughFailures(t *testing.T) {
+	// Call 1 succeeds, calls 2-4 fail (a driver outage), call 5+ succeed.
+	ft := &fakeTransport{failLo: 2, failHi: 4, leaseMS: 20}
+	var transitions []bool
+	var tmu sync.Mutex
+	a := NewAnnouncer(AnnouncerConfig{
+		Self:        mem("w1", "h:1", 1),
+		Transport:   ft.send,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		OnStateChange: func(ok bool) {
+			tmu.Lock()
+			transitions = append(transitions, ok)
+			tmu.Unlock()
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { a.Run(ctx); close(done) }()
+
+	deadline := time.After(2 * time.Second)
+	for a.Announces() < 2 { // one before the outage, one after
+		select {
+		case <-deadline:
+			t.Fatalf("never recovered: %d calls, %d successes", ft.count(), a.Announces())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+
+	if ft.count() < 5 {
+		t.Fatalf("expected retries through the outage, saw %d calls", ft.count())
+	}
+	tmu.Lock()
+	defer tmu.Unlock()
+	// connect, disconnect at the outage, reconnect after it.
+	if len(transitions) < 3 || transitions[0] != true || transitions[1] != false || transitions[len(transitions)-1] != true {
+		t.Fatalf("state transitions: %v", transitions)
+	}
+}
+
+func TestAnnouncerStopsOnCancel(t *testing.T) {
+	ft := &fakeTransport{failLo: 1, failHi: 1 << 30} // never succeeds
+	a := NewAnnouncer(AnnouncerConfig{
+		Self:        mem("w1", "h:1", 1),
+		Transport:   ft.send,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { a.Run(ctx); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+// TestAnnouncerAgainstRegistrar wires the worker loop straight into a
+// registrar: the member must appear in the view, then disappear after the
+// announcer stops and the lease strikes out.
+func TestAnnouncerAgainstRegistrar(t *testing.T) {
+	r := NewRegistrar(RegistrarConfig{LeaseInterval: 10 * time.Millisecond, Strikes: 2})
+	a := NewAnnouncer(AnnouncerConfig{
+		Self: mem("w1", "h:1", 1),
+		Transport: func(_ context.Context, an Announce) (AnnounceReply, error) {
+			return r.Announce(an)
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { a.Run(ctx); close(done) }()
+
+	deadline := time.After(2 * time.Second)
+	for len(r.Snapshot().Members) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("announcer never registered")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+	for i := 0; i < 3; i++ {
+		r.Tick()
+	}
+	if v := r.Snapshot(); len(v.Members) != 0 {
+		t.Fatalf("stopped announcer still a member: %+v", v)
+	}
+}

@@ -1,0 +1,34 @@
+package membership
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeAnnounce drives the strict wire decoder with arbitrary bytes: it
+// must never panic, and every message it accepts must re-encode to the exact
+// canonical bytes and decode back to the same value (the format has a single
+// valid encoding per message).
+func FuzzDecodeAnnounce(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeAnnounce(Announce{Member{ID: "w1", Addr: "localhost:7071", Incarnation: 7}}))
+	f.Add(EncodeAnnounce(Announce{Member{ID: "a", Addr: "b", Incarnation: 0}}))
+	f.Add([]byte{'S', 'L', 'M', 1, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		a, err := DecodeAnnounce(b)
+		if err != nil {
+			return
+		}
+		re := EncodeAnnounce(a)
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted non-canonical encoding:\n in  %q\n out %q", b, re)
+		}
+		back, err := DecodeAnnounce(re)
+		if err != nil {
+			t.Fatalf("re-decode of canonical bytes failed: %v", err)
+		}
+		if back != a {
+			t.Fatalf("round trip drifted: %+v vs %+v", a, back)
+		}
+	})
+}

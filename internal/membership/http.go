@@ -1,0 +1,109 @@
+package membership
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// AnnouncePath is the driver-side endpoint the HTTP transport posts
+// announces to, relative to the URL given to slworker's -join flag.
+const AnnouncePath = "/v1/cluster/announce"
+
+// Handler returns the driver-side membership HTTP surface:
+//
+//	POST /v1/cluster/announce   join / renew a lease (body: wire announce)
+//	GET  /v1/cluster            operator view of the member table
+//
+// cmd/slserve mounts it on the -listen-workers listener.
+func Handler(r *Registrar) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+AnnouncePath, func(w http.ResponseWriter, req *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, MaxAnnounceSize))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("membership: reading announce: %w", err))
+			return
+		}
+		a, err := DecodeAnnounce(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		reply, err := r.Announce(a)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrStaleIncarnation) {
+				status = http.StatusConflict
+			}
+			httpError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, reply)
+	})
+	mux.HandleFunc("GET /v1/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Version uint64         `json:"version"`
+			Members []MemberStatus `json:"members"`
+		}{Version: r.Version(), Members: r.Status()})
+	})
+	return mux
+}
+
+// HTTPTransport returns a Transport posting announces to the driver at
+// base (e.g. "http://driver:7070"; with or without a trailing slash). A nil
+// client selects one with a 5s timeout.
+func HTTPTransport(base string, client *http.Client) Transport {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	url := trimTrailingSlash(base) + AnnouncePath
+	return func(ctx context.Context, a Announce) (AnnounceReply, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(EncodeAnnounce(a)))
+		if err != nil {
+			return AnnounceReply{}, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := client.Do(req)
+		if err != nil {
+			return AnnounceReply{}, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if err != nil {
+			return AnnounceReply{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return AnnounceReply{}, fmt.Errorf("membership: announce to %s: %s: %s",
+				url, resp.Status, bytes.TrimSpace(body))
+		}
+		var reply AnnounceReply
+		if err := json.Unmarshal(body, &reply); err != nil {
+			return AnnounceReply{}, fmt.Errorf("membership: decoding announce reply: %w", err)
+		}
+		return reply, nil
+	}
+}
+
+func trimTrailingSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}

@@ -1,0 +1,35 @@
+package membership
+
+import "sliceline/internal/obs"
+
+// memObs bundles the registrar's pre-resolved sl_membership_* metric
+// handles. With a nil registry every handle is nil and all updates are
+// no-ops, matching the zero-cost-off convention of internal/core and
+// internal/dist.
+type memObs struct {
+	announces   *obs.Counter
+	joins       *obs.Counter
+	rejoins     *obs.Counter
+	expirations *obs.Counter
+	stale       *obs.Counter
+	members     *obs.Gauge
+	version     *obs.Gauge
+}
+
+func newMemObs(r *obs.Registry) memObs {
+	return memObs{
+		announces:   r.Counter("sl_membership_announces_total", "Announce/renewal messages accepted by the registrar."),
+		joins:       r.Counter("sl_membership_joins_total", "Workers joining the fleet for the first time."),
+		rejoins:     r.Counter("sl_membership_rejoins_total", "Known workers re-announcing with a new incarnation or address."),
+		expirations: r.Counter("sl_membership_expirations_total", "Workers expired after missing the lease strike limit."),
+		stale:       r.Counter("sl_membership_stale_announces_total", "Announces rejected for carrying an outdated incarnation."),
+		members:     r.Gauge("sl_membership_members", "Live workers in the current membership view."),
+		version:     r.Gauge("sl_membership_view_version", "Monotonic membership view version."),
+	}
+}
+
+// setMembers updates the live-view gauges.
+func (o *memObs) setMembers(n int, version uint64) {
+	o.members.Set(float64(n))
+	o.version.Set(float64(version))
+}

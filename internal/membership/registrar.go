@@ -1,0 +1,315 @@
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sliceline/internal/obs"
+)
+
+// Default Registrar configuration.
+const (
+	DefaultLeaseInterval = 2 * time.Second
+	DefaultLeaseStrikes  = 3
+)
+
+// ErrStaleIncarnation rejects an announce from an older incarnation of a
+// member the registrar already knows under a newer one — the ghost of a
+// replaced process must not overwrite its successor's address.
+var ErrStaleIncarnation = errors.New("membership: announce from a stale incarnation")
+
+// RegistrarConfig configures the driver-side membership table.
+type RegistrarConfig struct {
+	// LeaseInterval is the renewal cadence workers are told to announce at,
+	// and the period of the expiry scan. <= 0 selects 2s.
+	LeaseInterval time.Duration
+	// Strikes is how many consecutive expiry scans a member may miss before
+	// it is expired — the same strike discipline the dist heartbeat prober
+	// applies, inverted: instead of the driver probing workers, workers
+	// prove themselves to the driver. <= 0 selects 3.
+	Strikes int
+	// Metrics, when non-nil, receives the sl_membership_* metric families.
+	// Nil disables metric recording at zero cost.
+	Metrics *obs.Registry
+}
+
+func (c RegistrarConfig) withDefaults() RegistrarConfig {
+	if c.LeaseInterval <= 0 {
+		c.LeaseInterval = DefaultLeaseInterval
+	}
+	if c.Strikes <= 0 {
+		c.Strikes = DefaultLeaseStrikes
+	}
+	return c
+}
+
+// View is one immutable snapshot of the live membership. Version increases
+// on every change (join, address/incarnation change, expiry), so consumers
+// can cheaply detect "anything moved since I last looked".
+type View struct {
+	Version uint64
+	Members []Member // sorted by ID
+}
+
+// AnnounceReply tells the worker how to behave as a lease holder.
+type AnnounceReply struct {
+	// LeaseMS is the renewal interval in milliseconds; the worker should
+	// re-announce about this often (the Announcer renews at half of it).
+	LeaseMS int64 `json:"lease_ms"`
+	// Strikes echoes the registrar's expiry threshold, for operators.
+	Strikes int `json:"strikes"`
+	// Version is the membership view version after this announce.
+	Version uint64 `json:"version"`
+}
+
+// memberState is the registrar's per-member bookkeeping.
+type memberState struct {
+	Member
+	renewed  bool // announced since the last expiry scan
+	strikes  int  // consecutive scans without a renewal
+	joined   time.Time
+	lastSeen time.Time
+}
+
+// MemberStatus is the operator-facing view of one member (GET /v1/cluster).
+type MemberStatus struct {
+	ID          string `json:"id"`
+	Addr        string `json:"addr"`
+	Incarnation uint64 `json:"incarnation"`
+	Strikes     int    `json:"strikes"`
+	AgeMS       int64  `json:"age_ms"`       // since join
+	LastSeenMS  int64  `json:"last_seen_ms"` // since last renewal
+}
+
+// Registrar is the driver-side membership table: workers Announce to join
+// and renew, a periodic expiry scan strikes out the silent ones, and every
+// view change fans out to Watch subscribers. All methods are safe for
+// concurrent use.
+type Registrar struct {
+	cfg RegistrarConfig
+	ob  memObs
+
+	mu       sync.Mutex
+	members  map[string]*memberState
+	version  uint64
+	watchers map[int]chan View
+	nextW    int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRegistrar builds an idle registrar; call Start to run the background
+// expiry scanner, or drive scans manually with Tick in tests.
+func NewRegistrar(cfg RegistrarConfig) *Registrar {
+	cfg = cfg.withDefaults()
+	return &Registrar{
+		cfg:      cfg,
+		ob:       newMemObs(cfg.Metrics),
+		members:  make(map[string]*memberState),
+		watchers: make(map[int]chan View),
+	}
+}
+
+// LeaseInterval reports the configured renewal cadence.
+func (r *Registrar) LeaseInterval() time.Duration { return r.cfg.LeaseInterval }
+
+// Announce joins or renews a member. A new ID, a changed address, or a
+// higher incarnation bumps the view version and notifies watchers; a plain
+// renewal only clears the member's strikes. Announces from an incarnation
+// older than the registered one are rejected with ErrStaleIncarnation.
+func (r *Registrar) Announce(a Announce) (AnnounceReply, error) {
+	if err := a.Member.validate(); err != nil {
+		return AnnounceReply{}, fmt.Errorf("%w: %v", ErrBadAnnounce, err)
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.ob.announces.Inc()
+	m, ok := r.members[a.ID]
+	changed := false
+	switch {
+	case !ok:
+		m = &memberState{Member: a.Member, joined: now}
+		r.members[a.ID] = m
+		changed = true
+		r.ob.joins.Inc()
+	case a.Incarnation < m.Incarnation:
+		r.mu.Unlock()
+		r.ob.stale.Inc()
+		return AnnounceReply{}, fmt.Errorf("%w: %s announced incarnation %d, registered %d",
+			ErrStaleIncarnation, a.ID, a.Incarnation, m.Incarnation)
+	case a.Incarnation > m.Incarnation || a.Addr != m.Addr:
+		// A restarted (or re-homed) process: same identity, new lifetime.
+		m.Member = a.Member
+		changed = true
+		r.ob.rejoins.Inc()
+	}
+	m.renewed = true
+	m.strikes = 0
+	m.lastSeen = now
+	if changed {
+		r.bumpLocked()
+	}
+	reply := AnnounceReply{
+		LeaseMS: r.cfg.LeaseInterval.Milliseconds(),
+		Strikes: r.cfg.Strikes,
+		Version: r.version,
+	}
+	r.ob.setMembers(len(r.members), r.version)
+	r.mu.Unlock()
+	return reply, nil
+}
+
+// Tick runs one expiry scan: members that announced since the previous scan
+// are cleared; the silent ones take a strike, and a member reaching the
+// strike limit is expired from the view. Start runs this on a ticker;
+// tests call it directly for deterministic lease timelines.
+func (r *Registrar) Tick() {
+	r.mu.Lock()
+	changed := false
+	for id, m := range r.members {
+		if m.renewed {
+			m.renewed = false
+			m.strikes = 0
+			continue
+		}
+		m.strikes++
+		if m.strikes >= r.cfg.Strikes {
+			delete(r.members, id)
+			changed = true
+			r.ob.expirations.Inc()
+		}
+	}
+	if changed {
+		r.bumpLocked()
+	}
+	r.ob.setMembers(len(r.members), r.version)
+	r.mu.Unlock()
+}
+
+// bumpLocked advances the view version and fans the new view out to every
+// watcher. Callers hold r.mu.
+func (r *Registrar) bumpLocked() {
+	r.version++
+	v := r.snapshotLocked()
+	for _, ch := range r.watchers {
+		// Coalesce rather than block: a slow watcher loses intermediate
+		// views, never the latest one.
+		for {
+			select {
+			case ch <- v:
+			default:
+				select {
+				case <-ch:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+func (r *Registrar) snapshotLocked() View {
+	v := View{Version: r.version, Members: make([]Member, 0, len(r.members))}
+	for _, m := range r.members {
+		v.Members = append(v.Members, m.Member)
+	}
+	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i].ID < v.Members[j].ID })
+	return v
+}
+
+// Snapshot returns the current live view.
+func (r *Registrar) Snapshot() View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+// Status returns the operator-facing member table, sorted by ID.
+func (r *Registrar) Status() []MemberStatus {
+	now := time.Now()
+	r.mu.Lock()
+	out := make([]MemberStatus, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, MemberStatus{
+			ID:          m.ID,
+			Addr:        m.Addr,
+			Incarnation: m.Incarnation,
+			Strikes:     m.strikes,
+			AgeMS:       now.Sub(m.joined).Milliseconds(),
+			LastSeenMS:  now.Sub(m.lastSeen).Milliseconds(),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Version returns the current view version without copying the member list.
+func (r *Registrar) Version() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
+// Watch subscribes to view changes. The returned channel receives every
+// version bump (coalesced under backpressure — the latest view always
+// arrives); cancel unsubscribes and the channel is then never sent to again.
+func (r *Registrar) Watch() (<-chan View, func()) {
+	ch := make(chan View, 4)
+	r.mu.Lock()
+	id := r.nextW
+	r.nextW++
+	r.watchers[id] = ch
+	r.mu.Unlock()
+	cancel := func() {
+		r.mu.Lock()
+		delete(r.watchers, id)
+		r.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Start launches the background expiry scanner at the lease interval. It is
+// idempotent; Close stops it.
+func (r *Registrar) Start() {
+	r.mu.Lock()
+	if r.stop != nil {
+		r.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.stop, r.done = stop, done
+	r.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(r.cfg.LeaseInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				r.Tick()
+			}
+		}
+	}()
+}
+
+// Close stops the expiry scanner. Watchers stay subscribed (the registrar
+// can be restarted with Start).
+func (r *Registrar) Close() {
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

@@ -1,0 +1,181 @@
+package membership
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func mem(id, addr string, inc uint64) Member {
+	return Member{ID: id, Addr: addr, Incarnation: inc}
+}
+
+func mustAnnounce(t *testing.T, r *Registrar, m Member) AnnounceReply {
+	t.Helper()
+	reply, err := r.Announce(Announce{Member: m})
+	if err != nil {
+		t.Fatalf("announce %+v: %v", m, err)
+	}
+	return reply
+}
+
+func TestRegistrarJoinRenewExpire(t *testing.T) {
+	r := NewRegistrar(RegistrarConfig{Strikes: 3})
+
+	reply := mustAnnounce(t, r, mem("w1", "h:1", 1))
+	if reply.Version != 1 {
+		t.Fatalf("first join: version %d, want 1", reply.Version)
+	}
+	if reply.LeaseMS != DefaultLeaseInterval.Milliseconds() || reply.Strikes != 3 {
+		t.Fatalf("lease terms: %+v", reply)
+	}
+	mustAnnounce(t, r, mem("w2", "h:2", 1))
+	if v := r.Snapshot(); len(v.Members) != 2 || v.Version != 2 {
+		t.Fatalf("snapshot after two joins: %+v", v)
+	}
+
+	// A plain renewal does not bump the version.
+	if reply := mustAnnounce(t, r, mem("w1", "h:1", 1)); reply.Version != 2 {
+		t.Fatalf("renewal bumped version to %d", reply.Version)
+	}
+
+	// w2 goes silent. The first scan consumes its join announce; strikes
+	// accumulate on the next three, and the third strike expires it. w1
+	// renews before each scan and stays.
+	for i := 0; i < 4; i++ {
+		mustAnnounce(t, r, mem("w1", "h:1", 1))
+		r.Tick()
+		if i < 3 {
+			if v := r.Snapshot(); len(v.Members) != 2 {
+				t.Fatalf("scan %d: w2 expired early: %+v", i, v)
+			}
+		}
+	}
+	v := r.Snapshot()
+	if len(v.Members) != 1 || v.Members[0].ID != "w1" {
+		t.Fatalf("after strike-out: %+v", v)
+	}
+	if v.Version != 3 {
+		t.Fatalf("expiry should bump version once: got %d", v.Version)
+	}
+}
+
+func TestRegistrarStrikeResetOnRenewal(t *testing.T) {
+	r := NewRegistrar(RegistrarConfig{Strikes: 3})
+	mustAnnounce(t, r, mem("w1", "h:1", 1))
+
+	// The first scan consumes the join announce; the next two silent scans
+	// accumulate two strikes...
+	r.Tick()
+	r.Tick()
+	r.Tick()
+	if st := r.Status(); st[0].Strikes != 2 {
+		t.Fatalf("want 2 strikes, got %+v", st)
+	}
+	// ...one renewal wipes them, so the member survives another two silent
+	// scans beyond the consuming one.
+	mustAnnounce(t, r, mem("w1", "h:1", 1))
+	r.Tick() // consumes the renewal
+	r.Tick()
+	r.Tick()
+	if v := r.Snapshot(); len(v.Members) != 1 {
+		t.Fatalf("member expired despite renewal: %+v", v)
+	}
+	r.Tick()
+	if v := r.Snapshot(); len(v.Members) != 0 {
+		t.Fatalf("member should expire after 3 silent scans: %+v", v)
+	}
+}
+
+func TestRegistrarIncarnations(t *testing.T) {
+	r := NewRegistrar(RegistrarConfig{})
+	mustAnnounce(t, r, mem("w1", "h:1", 5))
+	v0 := r.Version()
+
+	// Higher incarnation: same identity, new process — version bumps.
+	mustAnnounce(t, r, mem("w1", "h:1", 6))
+	if r.Version() != v0+1 {
+		t.Fatalf("restart did not bump version: %d vs %d", r.Version(), v0)
+	}
+	// Stale incarnation: rejected, state untouched.
+	_, err := r.Announce(Announce{Member: mem("w1", "h:9", 5)})
+	if !errors.Is(err, ErrStaleIncarnation) {
+		t.Fatalf("want ErrStaleIncarnation, got %v", err)
+	}
+	v := r.Snapshot()
+	if v.Members[0].Addr != "h:1" || v.Members[0].Incarnation != 6 {
+		t.Fatalf("stale announce mutated state: %+v", v)
+	}
+
+	// Address change at the same incarnation also counts as a rejoin.
+	mustAnnounce(t, r, mem("w1", "h:2", 6))
+	if got := r.Snapshot().Members[0].Addr; got != "h:2" {
+		t.Fatalf("re-home ignored: %s", got)
+	}
+}
+
+func TestRegistrarRejectsInvalidMember(t *testing.T) {
+	r := NewRegistrar(RegistrarConfig{})
+	if _, err := r.Announce(Announce{Member: Member{ID: "", Addr: "h:1"}}); !errors.Is(err, ErrBadAnnounce) {
+		t.Fatalf("empty ID accepted: %v", err)
+	}
+}
+
+func TestRegistrarWatchCoalesces(t *testing.T) {
+	r := NewRegistrar(RegistrarConfig{})
+	ch, cancel := r.Watch()
+	defer cancel()
+
+	// More changes than the channel buffers: the latest view must still land.
+	for i := 0; i < 10; i++ {
+		mustAnnounce(t, r, mem("w", "h:1", uint64(i+1)))
+	}
+	var last View
+	drained := false
+	for !drained {
+		select {
+		case v := <-ch:
+			if v.Version < last.Version {
+				t.Fatalf("view went backwards: %d after %d", v.Version, last.Version)
+			}
+			last = v
+		default:
+			drained = true
+		}
+	}
+	if last.Version != r.Version() {
+		t.Fatalf("latest view not delivered: watcher saw %d, registrar at %d", last.Version, r.Version())
+	}
+
+	cancel()
+	mustAnnounce(t, r, mem("w2", "h:2", 1))
+	select {
+	case v := <-ch:
+		if v.Version == r.Version() {
+			t.Fatal("cancelled watcher still receiving")
+		}
+	default:
+	}
+}
+
+func TestRegistrarStartExpiresInBackground(t *testing.T) {
+	r := NewRegistrar(RegistrarConfig{LeaseInterval: 10 * time.Millisecond, Strikes: 2})
+	mustAnnounce(t, r, mem("w1", "h:1", 1))
+	ch, cancel := r.Watch()
+	defer cancel()
+	r.Start()
+	r.Start() // idempotent
+	defer r.Close()
+
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case v := <-ch:
+			if len(v.Members) == 0 {
+				return // expired by the background scanner
+			}
+		case <-deadline:
+			t.Fatalf("silent member never expired: %+v", r.Snapshot())
+		}
+	}
+}

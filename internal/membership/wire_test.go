@@ -1,0 +1,56 @@
+package membership
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnnounceRoundTrip(t *testing.T) {
+	cases := []Announce{
+		{Member{ID: "w1", Addr: "localhost:7071", Incarnation: 0}},
+		{Member{ID: "worker-αβ", Addr: "10.0.0.7:9999", Incarnation: 1<<64 - 1}},
+		{Member{ID: strings.Repeat("x", maxIDLen), Addr: strings.Repeat("y", maxAddrLen), Incarnation: 42}},
+	}
+	for _, a := range cases {
+		got, err := DecodeAnnounce(EncodeAnnounce(a))
+		if err != nil {
+			t.Fatalf("%+v: %v", a, err)
+		}
+		if got != a {
+			t.Fatalf("round trip: got %+v want %+v", got, a)
+		}
+	}
+}
+
+func TestDecodeAnnounceRejects(t *testing.T) {
+	good := EncodeAnnounce(Announce{Member{ID: "w1", Addr: "h:1", Incarnation: 3}})
+	cases := map[string][]byte{
+		"empty":           {},
+		"bad magic":       append([]byte("XXXX"), good[4:]...),
+		"bad version":     append([]byte{'S', 'L', 'M', 2}, good[4:]...),
+		"truncated id":    good[:5],
+		"truncated inc":   good[:len(good)-1],
+		"trailing bytes":  append(append([]byte{}, good...), 0),
+		"oversized":       make([]byte, MaxAnnounceSize+1),
+		"huge length":     append([]byte{'S', 'L', 'M', 1, 0xff, 0xff, 0xff, 0x7f}, good[4:]...),
+		"control char id": EncodeAnnounce(Announce{Member{ID: "ok", Addr: "h:1"}})[:0],
+	}
+	// The control-char case cannot be produced by EncodeAnnounce (it
+	// panics); build the bytes by hand.
+	raw := append([]byte{'S', 'L', 'M', 1}, 2, 'a', '\n', 3, 'h', ':', '1', 0)
+	cases["control char id"] = raw
+	for name, b := range cases {
+		if _, err := DecodeAnnounce(b); err == nil {
+			t.Errorf("%s: decode accepted %q", name, b)
+		}
+	}
+}
+
+func TestEncodeAnnouncePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic encoding an empty member")
+		}
+	}()
+	EncodeAnnounce(Announce{})
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"sliceline/internal/core"
+	"sliceline/internal/membership"
 )
 
 // This file pins the service's JSON wire types. Job results reuse the
@@ -164,6 +165,15 @@ type Healthz struct {
 	PoolSize  int            `json:"pool_size"`
 	Journal   bool           `json:"journal"`
 	DistAddrs []string       `json:"dist_workers,omitempty"`
+	Elastic   bool           `json:"elastic,omitempty"` // membership-driven fleet configured
+}
+
+// ClusterInfo is the response of GET /v1/cluster: the membership view the
+// server's elastic jobs place partitions against. The shape matches the
+// worker-facing GET /v1/cluster of internal/membership's Handler.
+type ClusterInfo struct {
+	Version uint64                    `json:"version"`
+	Members []membership.MemberStatus `json:"members"`
 }
 
 // apiError is the uniform JSON error envelope.

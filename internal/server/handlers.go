@@ -25,6 +25,7 @@ const maxDatasetBytes = 64 << 20
 //	GET    /v1/jobs/{id}/events    SSE per-level progress stream
 //	DELETE /v1/jobs/{id}           cancel a job
 //	GET    /v1/healthz             liveness, version, pool/queue state
+//	GET    /v1/cluster             elastic fleet membership (when configured)
 //
 // plus the observability surface of internal/obs (/metrics, /metrics.json,
 // /debug/vars, /debug/pprof/) when the server has a metrics registry.
@@ -39,6 +40,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	if s.cfg.Membership != nil {
+		mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	}
 	if s.cfg.Metrics != nil {
 		om := obs.Handler(s.cfg.Metrics)
 		mux.Handle("/metrics", om)
@@ -167,6 +171,15 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.info())
 }
 
+// handleCluster implements GET /v1/cluster: the operator view of the elastic
+// fleet, mirrored from the registrar the server's distributed jobs follow.
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ClusterInfo{
+		Version: s.cfg.Membership.Version(),
+		Members: s.cfg.Membership.Status(),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	byState := make(map[string]int)
 	for _, j := range s.listJobs() {
@@ -183,5 +196,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		PoolSize:  s.cfg.Pool,
 		Journal:   s.journal != nil,
 		DistAddrs: s.cfg.DistWorkers,
+		Elastic:   s.cfg.Membership != nil,
 	})
 }

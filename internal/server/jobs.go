@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 	"time"
@@ -98,9 +99,9 @@ func (s *Server) submit(spec JobSpec) (*job, int, error) {
 		return nil, http.StatusNotFound, fmt.Errorf("server: unknown dataset %q", spec.Dataset)
 	}
 	useDist := spec.Evaluator == EvalDist ||
-		(spec.Evaluator == EvalAuto && len(s.cfg.DistWorkers) > 0)
-	if useDist && len(s.cfg.DistWorkers) == 0 {
-		return nil, http.StatusBadRequest, fmt.Errorf("server: job requests distributed evaluation but the server has no workers configured")
+		(spec.Evaluator == EvalAuto && s.distCapable())
+	if useDist && !s.distCapable() {
+		return nil, http.StatusBadRequest, fmt.Errorf("server: job requests distributed evaluation but the server has no workers or membership configured")
 	}
 
 	cfg := spec.Config.ToCore().WithDefaults(ds.DS.NumRows())
@@ -133,9 +134,8 @@ func (s *Server) submit(spec JobSpec) (*job, int, error) {
 		s.ob.submitted.Inc()
 		s.ob.cacheHits.Inc()
 		s.ob.done.Inc()
-		if err := s.journal.saveJob(j); err != nil {
-			return j, http.StatusAccepted, nil // serving beats journaling; next save retries
-		}
+		// Serving beats journaling; the next save retries the file.
+		s.journalFailed("cache hit", s.journal.saveJob(j))
 		return j, http.StatusAccepted, nil
 	}
 	s.ob.cacheMiss.Inc()
@@ -175,11 +175,9 @@ func (s *Server) submit(spec JobSpec) (*job, int, error) {
 
 	s.ob.submitted.Inc()
 	s.ob.queueDepth.Add(1)
-	if err := s.journal.saveJob(j); err != nil {
-		// The job is already queued; journaling is best-effort per write
-		// (the terminal save will retry the file).
-		_ = err
-	}
+	// The job is already queued; journaling is best-effort per write (the
+	// terminal save will retry the file).
+	s.journalFailed("enqueue", s.journal.saveJob(j))
 	return j, http.StatusAccepted, nil
 }
 
@@ -238,7 +236,7 @@ func (s *Server) cancelJob(j *job) jobState {
 		close(j.done)
 		s.ob.cancelled.Inc()
 		s.ob.queueDepth.Add(-1)
-		_ = s.journal.saveJob(j)
+		s.journalFailed("cancel", s.journal.saveJob(j))
 		return jobCancelled
 	}
 	// Running: cancel the context; the worker observes the enumeration
@@ -327,7 +325,26 @@ func (s *Server) finishJob(j *job, res *core.Result, err error) {
 	}
 	j.events.finish(string(st), msg)
 	close(j.done)
-	_ = s.journal.saveJob(j)
+	s.journalFailed("finish", s.journal.saveJob(j))
+}
+
+// journalErrorLogWindow spaces journal-failure log lines: a dead disk fails
+// every write, and one line per window tells the story as well as thousands.
+const journalErrorLogWindow = 10 * time.Second
+
+// journalFailed records a failed journal write: every failure increments
+// sl_server_journal_errors_total, and at most one log line per window names
+// the failing site. A nil error is a no-op, so call sites stay one line.
+func (s *Server) journalFailed(site string, err error) {
+	if err == nil {
+		return
+	}
+	s.ob.journalErrs.Inc()
+	now := time.Now().UnixNano()
+	last := s.journalLogAt.Load()
+	if now-last >= int64(journalErrorLogWindow) && s.journalLogAt.CompareAndSwap(last, now) {
+		log.Printf("server: journal write failed (%s): %v", site, err)
+	}
 }
 
 // runJobReal is the production job runner (Server.runJob): it wires the
@@ -357,17 +374,34 @@ func (s *Server) runJobReal(ctx context.Context, j *job) (*core.Result, error) {
 	ctx = obs.ContextWith(ctx, sp)
 
 	if j.useDist {
-		s.distMu.Lock()
-		defer s.distMu.Unlock()
 		opts := s.cfg.Dist
 		opts.Tracer = s.cfg.Tracer
 		opts.Metrics = s.cfg.Metrics
-		cluster, err := dialCluster(s.cfg.DistWorkers, opts)
-		if err != nil {
-			return nil, fmt.Errorf("server: dialing workers: %w", err)
+		if s.cfg.Membership != nil {
+			// Elastic fleet: partition keys are content-addressed by the
+			// dataset signature, so concurrent jobs on shared workers cannot
+			// collide and no distMu serialization is needed. The cluster
+			// follows the registrar for the job's duration, so members that
+			// join, crash, or flap mid-run are absorbed by rebalancing.
+			opts.PlacementSeed = j.ds.Sig
+			cluster, err := dist.NewElasticCluster(dist.MemberDialer(dist.DialOptions{}), opts)
+			if err != nil {
+				return nil, fmt.Errorf("server: building elastic cluster: %w", err)
+			}
+			defer cluster.Close()
+			stop := cluster.Follow(ctx, s.cfg.Membership)
+			defer stop()
+			cfg.Evaluator = cluster
+		} else {
+			s.distMu.Lock()
+			defer s.distMu.Unlock()
+			cluster, err := dialCluster(s.cfg.DistWorkers, opts)
+			if err != nil {
+				return nil, fmt.Errorf("server: dialing workers: %w", err)
+			}
+			defer cluster.Close()
+			cfg.Evaluator = cluster
 		}
-		defer cluster.Close()
-		cfg.Evaluator = cluster
 	}
 	return core.RunEncodedContext(ctx, j.ds.Enc, j.ds.DS.Features, j.ds.ErrVec, cfg)
 }

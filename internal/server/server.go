@@ -18,6 +18,7 @@ import (
 
 	"sliceline/internal/core"
 	"sliceline/internal/dist"
+	"sliceline/internal/membership"
 	"sliceline/internal/obs"
 )
 
@@ -48,6 +49,13 @@ type Config struct {
 	// Dist carries the cluster runtime knobs (call timeout, hedging,
 	// heartbeat) applied to every distributed job.
 	Dist dist.Options
+	// Membership, when non-nil, switches distributed jobs to the elastic
+	// fleet: workers announce themselves to this registrar (slworker -join)
+	// instead of being listed in DistWorkers, partitions are placed by
+	// consistent hash of the dataset signature, and jobs survive mid-run
+	// joins, crashes, and full fleet loss (degrading to driver-local
+	// evaluation). DistWorkers is ignored for placement when set.
+	Membership *membership.Registrar
 	// Tracer, when non-nil, receives one span tree per job (server.job →
 	// core.run → levels/evals/RPCs).
 	Tracer obs.Tracer
@@ -83,7 +91,11 @@ type Server struct {
 
 	nextID atomic.Int64
 	wg     sync.WaitGroup
-	distMu sync.Mutex // serializes dist jobs: workers share one partition map
+	distMu sync.Mutex // serializes static dist jobs: workers share one partition map
+
+	// journalLogAt rate-limits the journal-write-failure log line (the
+	// counter records every failure; the log fires at most once per window).
+	journalLogAt atomic.Int64
 
 	// runJob executes one job; tests substitute a controllable stub to
 	// drive admission-control and cancellation paths deterministically.
@@ -197,7 +209,7 @@ func (s *Server) restoreJobs(recs []*journalJob) {
 		j.cfg = cfg
 		j.key = cacheKey{dataSig: ds.Sig, cfgSig: core.ConfigSignature(cfg), maxLevel: cfg.MaxLevel}
 		j.useDist = rec.Spec.Evaluator == EvalDist ||
-			(rec.Spec.Evaluator == EvalAuto && len(s.cfg.DistWorkers) > 0)
+			(rec.Spec.Evaluator == EvalAuto && s.distCapable())
 		j.resume = true
 		j.state = jobQueued
 		j.enqueued = time.Now()
@@ -213,6 +225,12 @@ func (s *Server) restoreJobs(recs []*journalJob) {
 		s.ob.queueDepth.Add(1)
 		s.queue <- j // blocking is fine: the pool is already draining
 	}
+}
+
+// distCapable reports whether the server can run distributed jobs: either a
+// static worker list or a membership registrar (elastic fleet) is configured.
+func (s *Server) distCapable() bool {
+	return len(s.cfg.DistWorkers) > 0 || s.cfg.Membership != nil
 }
 
 func (s *Server) addRestored(j *job) {
