@@ -3,8 +3,13 @@
 // by the core data signature) and submit asynchronous slice-finding jobs
 // against them. Jobs run on a bounded worker pool with admission control
 // (full queue → HTTP 429), identical resubmissions are answered from the
-// result cache, and per-level progress streams over SSE. See README.md,
-// "HTTP service", for a curl walkthrough.
+// result cache, and per-level progress streams over SSE. Datasets registered
+// with an err column are streaming: POST /v1/datasets/{id}/rows appends rows
+// (advancing the dataset's generation), monitor-mode jobs stay resident
+// (capped by -max-monitors) and re-emit the exact maintained top-K over SSE
+// after every append, and windowed jobs score only the most recent rows. See
+// README.md, "HTTP service", for a curl walkthrough, and API.md for the wire
+// contract.
 //
 //	slserve -addr :8080
 //	slserve -addr :8080 -journal /var/lib/slserve -workers localhost:7071,localhost:7072
@@ -55,6 +60,7 @@ func run(args []string) int {
 		addr         = fs.String("addr", ":8080", "listen address (host:port)")
 		pool         = fs.Int("pool", server.DefaultPool, "concurrent job executors")
 		queue        = fs.Int("queue", server.DefaultQueueDepth, "max queued jobs before submissions get HTTP 429")
+		maxMonitors  = fs.Int("max-monitors", server.DefaultMaxMonitors, "max resident monitor jobs before submissions get HTTP 429")
 		jobTimeout   = fs.Duration("job-timeout", 0, "default per-job execution deadline (0 = none; a spec's timeout_ms overrides)")
 		journalDir   = fs.String("journal", "", "persist datasets, jobs and checkpoints in this directory for restart/resume")
 		workers      = fs.String("workers", "", "comma-separated worker addresses for distributed evaluation")
@@ -78,11 +84,12 @@ func run(args []string) int {
 	}
 
 	cfg := server.Config{
-		Pool:       *pool,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		JournalDir: *journalDir,
-		Metrics:    obs.NewRegistry(),
+		Pool:        *pool,
+		QueueDepth:  *queue,
+		MaxMonitors: *maxMonitors,
+		JobTimeout:  *jobTimeout,
+		JournalDir:  *journalDir,
+		Metrics:     obs.NewRegistry(),
 		Dist: dist.Options{
 			CallTimeout:       *callTimeout,
 			HedgeDelay:        *hedgeAfter,

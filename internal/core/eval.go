@@ -65,6 +65,12 @@ func (st *state) evalSlices(ctx context.Context, lv *level, L int) error {
 		copy(lv.ss, ss)
 		copy(lv.se, se)
 		copy(lv.sm, sm)
+	case st.memo != nil:
+		// Incremental path: statistics memoized across generations by
+		// original one-hot column ids; only rows appended since a
+		// candidate's last evaluation are scanned.
+		sp.SetStr("backend", "memo")
+		st.memo.evalLevel(st.origCols, st.e, lv)
 	case st.cfg.DenseEval:
 		sp.SetStr("backend", "dense")
 		st.evalDense(lv, L)
@@ -94,7 +100,8 @@ func EvalPartition(x *matrix.CSR, e []float64, cols [][]int, level, blockSize in
 
 // EvalPartitionWeighted is EvalPartition with optional row weights: row i
 // contributes w[i] to slice sizes and w[i]·e[i] to slice errors (nil w means
-// unit weights). The maximum tuple error sm is weight-independent.
+// unit weights). The maximum tuple error sm ignores the magnitude of positive
+// weights but excludes zero-weight (retired) rows entirely.
 func EvalPartitionWeighted(x *matrix.CSR, e, w []float64, cols [][]int, level, blockSize int, ss, se, sm []float64) {
 	nSlices := len(cols)
 	if nSlices == 0 {
@@ -181,7 +188,7 @@ func evalBlockSerial(x *matrix.CSR, e, w []float64, cols [][]int, L, s0, s1 int,
 				g := int(s) + s0
 				ss[g] += wi
 				se[g] += wi * ei
-				if ei > sm[g] {
+				if wi > 0 && ei > sm[g] {
 					sm[g] = ei
 				}
 			}
@@ -246,7 +253,7 @@ func evalBlockRowParallel(x *matrix.CSR, e, w []float64, cols [][]int, L, s0, s1
 					if bi.counts[s] == want {
 						p.ss[s] += wi
 						p.se[s] += wi * ei
-						if ei > p.sm[s] {
+						if wi > 0 && ei > p.sm[s] {
 							p.sm[s] = ei
 						}
 					}
@@ -278,6 +285,17 @@ func evalBlockRowParallel(x *matrix.CSR, e, w []float64, cols [][]int, L, s0, s1
 func (st *state) evalDense(lv *level, L int) {
 	const chunk = 512
 	n := st.x.Rows()
+	// Zero-weight (retired) rows are excluded from the max tuple error; since
+	// e >= 0, zeroing their entries drops them from the column max.
+	smE := st.e
+	if st.w != nil {
+		smE = make([]float64, len(st.e))
+		for i, v := range st.e {
+			if st.w[i] > 0 {
+				smE[i] = v
+			}
+		}
+	}
 	for s0 := 0; s0 < lv.size(); s0 += chunk {
 		s1 := s0 + chunk
 		if s1 > lv.size() {
@@ -305,7 +323,7 @@ func (st *state) evalDense(lv *level, L int) {
 			}
 			seC = matrix.MatVec(ind.T(), we)
 		}
-		smC := matrix.ColMaxs(matrix.ScaleRows(ind, st.e))
+		smC := matrix.ColMaxs(matrix.ScaleRows(ind, smE))
 		for s := s0; s < s1; s++ {
 			lv.ss[s] = ssC[s-s0]
 			lv.se[s] = seC[s-s0]

@@ -222,7 +222,7 @@ func evalBitsetRange(cb *matrix.ColumnBits, e, w []float64, cols [][]int, s0, s1
 					ei := e[i]
 					sumS += wi
 					sumE += wi * ei
-					if ei > maxE {
+					if wi > 0 && ei > maxE {
 						maxE = ei
 					}
 				}
@@ -234,4 +234,77 @@ func evalBitsetRange(cb *matrix.ColumnBits, e, w []float64, cols [][]int, s0, s1
 			sm[s] = maxE
 		}
 	}
+}
+
+// evalBitsetFrom evaluates one candidate (original one-hot column ids over
+// the full-width packed matrix) for rows [from, cb.Rows()), seeded with the
+// accumulated statistics of rows [0, from). Seeding with a prior generation's
+// stored values and continuing in ascending row order produces the same
+// float64 addition sequence as one full sequential pass, so the result is
+// bit-identical to evaluating all rows from scratch — the property the
+// incremental evaluator's differential tests pin. (The one aggregate whose
+// addition grouping differs, the unweighted whole-word popcount into sumS,
+// stays exact because slice sizes are integers below 2^53.) from = 0 with
+// zero seeds is a plain full evaluation.
+func evalBitsetFrom(cb *matrix.ColumnBits, e, w []float64, cand []int, from int, seedSS, seedSE, seedSM float64) (float64, float64, float64) {
+	sumS, sumE, maxE := seedSS, seedSE, seedSM
+	nc := len(cand)
+	if nc == 0 || from >= cb.Rows() {
+		return sumS, sumE, maxE
+	}
+	words := cb.Words()
+	a := cb.Col(cand[0])
+	var b, c []uint64
+	if nc > 1 {
+		b = cb.Col(cand[1])
+	}
+	if nc > 2 {
+		c = cb.Col(cand[2])
+	}
+	w0 := from >> 6
+	mask0 := ^uint64(0) << uint(from&63)
+	for k := w0; k < words; k++ {
+		m := a[k]
+		if k == w0 {
+			m &= mask0
+		}
+		if m == 0 {
+			continue
+		}
+		if b != nil {
+			m &= b[k]
+			if c != nil && m != 0 {
+				m &= c[k]
+				for j := 3; j < nc && m != 0; j++ {
+					m &= cb.Col(cand[j])[k]
+				}
+			}
+		}
+		if m == 0 {
+			continue
+		}
+		base := k << 6
+		if w == nil {
+			sumS += float64(bits.OnesCount64(m))
+			for t := m; t != 0; t &= t - 1 {
+				ei := e[base+bits.TrailingZeros64(t)]
+				sumE += ei
+				if ei > maxE {
+					maxE = ei
+				}
+			}
+		} else {
+			for t := m; t != 0; t &= t - 1 {
+				i := base + bits.TrailingZeros64(t)
+				wi := w[i]
+				ei := e[i]
+				sumS += wi
+				sumE += wi * ei
+				if wi > 0 && ei > maxE {
+					maxE = ei
+				}
+			}
+		}
+	}
+	return sumS, sumE, maxE
 }

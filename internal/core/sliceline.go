@@ -26,17 +26,19 @@ func (l *level) size() int { return len(l.cols) }
 
 // state carries the immutable inputs of one enumeration run.
 type state struct {
-	cfg    Config
-	sc     scorer
-	x      *matrix.CSR // reduced one-hot matrix, n × l'
-	kernel *Kernel     // built-in evaluation kernel over x (bitset/CSR selection)
-	e      []float64
-	w      []float64 // optional row weights (nil = unit weights)
-	featOf []int     // original feature per reduced column
-	valOf  []int     // 1-based value code per reduced column
-	m      int       // original feature count
-	eval   ExternalEvaluator
-	ob     coreObs // pre-resolved metric handles (all nil when metrics are off)
+	cfg      Config
+	sc       scorer
+	x        *matrix.CSR // reduced one-hot matrix, n × l'
+	kernel   *Kernel     // built-in evaluation kernel over x (bitset/CSR selection)
+	e        []float64
+	w        []float64 // optional row weights (nil = unit weights)
+	featOf   []int     // original feature per reduced column
+	valOf    []int     // 1-based value code per reduced column
+	m        int       // original feature count
+	eval     ExternalEvaluator
+	memo     *sliceMemo // incremental statistics memo (nil on batch runs)
+	origCols []int      // original one-hot column per reduced column (= cI)
+	ob       coreObs    // pre-resolved metric handles (all nil when metrics are off)
 }
 
 // Run executes SliceLine (Algorithm 1) on an integer-encoded dataset and a
@@ -63,12 +65,27 @@ func RunContext(ctx context.Context, ds *frame.Dataset, e []float64, cfg Config)
 // avoiding re-encoding across parameter sweeps. feats supplies names and
 // decode labels for the result; it must align with the encoding.
 func RunEncoded(enc *frame.Encoding, feats []frame.Feature, e []float64, cfg Config) (*Result, error) {
-	return runEncoded(context.Background(), enc, feats, e, nil, cfg)
+	return runEncoded(context.Background(), enc, feats, e, nil, cfg, nil)
 }
 
 // RunEncodedContext is RunEncoded with a caller-supplied context.
 func RunEncodedContext(ctx context.Context, enc *frame.Encoding, feats []frame.Feature, e []float64, cfg Config) (*Result, error) {
-	return runEncoded(ctx, enc, feats, e, nil, cfg)
+	return runEncoded(ctx, enc, feats, e, nil, cfg, nil)
+}
+
+// RunEncodedWeighted is RunWeighted for callers that already hold the one-hot
+// encoding. Weights may include zeros (rows excluded from every aggregate,
+// including the max tuple error) as long as the total weight is positive —
+// the mechanism behind windowed slice finding, where retired rows are
+// down-weighted to zero rather than re-encoding the surviving window.
+func RunEncodedWeighted(enc *frame.Encoding, feats []frame.Feature, e, w []float64, cfg Config) (*Result, error) {
+	return runEncoded(context.Background(), enc, feats, e, w, cfg, nil)
+}
+
+// RunEncodedWeightedContext is RunEncodedWeighted with a caller-supplied
+// context.
+func RunEncodedWeightedContext(ctx context.Context, enc *frame.Encoding, feats []frame.Feature, e, w []float64, cfg Config) (*Result, error) {
+	return runEncoded(ctx, enc, feats, e, w, cfg, nil)
 }
 
 // RunWeighted is Run for datasets with row weights: row i counts as w[i]
@@ -88,10 +105,10 @@ func RunWeightedContext(ctx context.Context, ds *frame.Dataset, e, w []float64, 
 	if err != nil {
 		return nil, err
 	}
-	return runEncoded(ctx, enc, ds.Features, e, w, cfg)
+	return runEncoded(ctx, enc, ds.Features, e, w, cfg, nil)
 }
 
-func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature, e, w []float64, cfg Config) (*Result, error) {
+func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature, e, w []float64, cfg Config, memo *sliceMemo) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,10 +120,18 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 		if len(w) != n {
 			return nil, fmt.Errorf("core: weight vector length %d vs %d rows: %w", len(w), n, ErrBadWeight)
 		}
+		// Zero weights are legal — a zero-weight row is excluded from every
+		// aggregate (windowed runs retire rows this way) — but the total must
+		// stay positive so the scorer's n and ē are well defined.
+		totalW := 0.0
 		for i, v := range w {
-			if v <= 0 {
-				return nil, fmt.Errorf("core: non-positive weight %v at row %d: %w", v, i, ErrBadWeight)
+			if v < 0 || v != v {
+				return nil, fmt.Errorf("core: invalid weight %v at row %d: %w", v, i, ErrBadWeight)
 			}
+			totalW += v
+		}
+		if totalW <= 0 {
+			return nil, fmt.Errorf("core: total weight %v is not positive: %w", totalW, ErrBadWeight)
 		}
 		if cfg.Evaluator != nil {
 			return nil, fmt.Errorf("core: %w", ErrWeightedEvaluator)
@@ -137,7 +162,7 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 	}
 	start := time.Now()
 
-	st := &state{cfg: cfg, sc: sc, e: e, w: w, m: enc.NumFeatures(), ob: newCoreObs(cfg.Metrics)}
+	st := &state{cfg: cfg, sc: sc, e: e, w: w, m: enc.NumFeatures(), memo: memo, ob: newCoreObs(cfg.Metrics)}
 	st.ob.runs.Inc()
 	// When the caller's context already carries a span (e.g. the server's
 	// per-job span), the run parents under it so one job yields one span
@@ -179,6 +204,9 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 	}
 	sm0 := make([]float64, enc.Width())
 	for i := 0; i < n; i++ {
+		if w != nil && w[i] == 0 {
+			continue // retired row: excluded from the max like every aggregate
+		}
 		ei := e[i]
 		colsI, _ := enc.X.RowEntries(i)
 		for _, c := range colsI {
@@ -214,6 +242,7 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 			return nil, fmt.Errorf("core: evaluator setup: %w", err)
 		}
 	}
+	st.origCols = cI
 	st.featOf = make([]int, len(cI))
 	st.valOf = make([]int, len(cI))
 	cur := &level{}

@@ -96,9 +96,13 @@ func TestWeightedValidation(t *testing.T) {
 	if _, err := RunWeighted(ds, e, w[:10], Config{Sigma: 2}); err == nil {
 		t.Error("expected error for short weights")
 	}
-	w[5] = 0
+	w[5] = -1
 	if _, err := RunWeighted(ds, e, w, Config{Sigma: 2}); err == nil {
-		t.Error("expected error for zero weight")
+		t.Error("expected error for negative weight")
+	}
+	w[5] = 0
+	if _, err := RunWeighted(ds, e, w, Config{Sigma: 2}); err != nil {
+		t.Errorf("zero weight among positives must be legal (windowed retirement): %v", err)
 	}
 	w[5] = 1
 	if _, err := RunWeighted(ds, e, w, Config{Sigma: 2, Evaluator: &faultyEvaluator{}}); err == nil {

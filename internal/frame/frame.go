@@ -197,6 +197,14 @@ type Dataset struct {
 	X0       *IntMatrix
 	Features []Feature
 	Y        []float64
+
+	// Encoders freezes the per-feature value→code mapping used to encode
+	// X0, when known (FromFrame records it). It is what makes a dataset
+	// appendable: new rows are encoded against the frozen mapping instead
+	// of re-deriving it, so codes stay stable across appends and only new
+	// categorical values (or previously unseen bins) grow a domain. Nil for
+	// datasets built directly from integer codes.
+	Encoders []ColumnEncoder
 }
 
 // Validate checks structural invariants: code ranges, alignment, and
@@ -302,14 +310,17 @@ func FromFrame(f *Frame, labelCol string, nBins int, drop ...string) (*Dataset, 
 	}
 	ds.X0 = NewIntMatrix(n, len(featCols))
 	ds.Features = make([]Feature, len(featCols))
+	ds.Encoders = make([]ColumnEncoder, len(featCols))
 	for j, c := range featCols {
 		var codes []int
 		feat := Feature{Name: c.Name}
+		enc := ColumnEncoder{Name: c.Name, Kind: c.Kind}
 		if c.Kind == Categorical {
 			var labels []string
 			codes, labels = Recode(c.Strings)
 			feat.Domain = len(labels)
 			feat.Labels = labels
+			enc.Labels = labels
 		} else {
 			var edges []float64
 			codes, edges = BinEquiWidth(c.Floats, nBins)
@@ -321,11 +332,15 @@ func FromFrame(f *Frame, labelCol string, nBins int, drop ...string) (*Dataset, 
 			}
 			feat.Domain = maxCode
 			feat.Labels = binLabels(edges, maxCode)
+			enc.Lo = edges[0]
+			enc.Hi = edges[nBins]
+			enc.NBins = nBins
 		}
 		for i, v := range codes {
 			ds.X0.Set(i, j, v)
 		}
 		ds.Features[j] = feat
+		ds.Encoders[j] = enc
 	}
 	return ds, nil
 }

@@ -70,8 +70,39 @@ func (jc JobConfig) ToCore() core.Config {
 	}
 }
 
+// Job modes accepted in a JobSpec.
+const (
+	// ModeBatch is the classic one-shot run (the zero value).
+	ModeBatch = ""
+	// ModeMonitor keeps the job resident: it recomputes the top-K after
+	// every dataset append and re-emits it over the job's SSE stream as a
+	// "result" event, until cancelled.
+	ModeMonitor = "monitor"
+)
+
+// SpecVersion is the current job-spec wire version. Version 0 (the field
+// absent) is the pre-streaming spec; version 1 adds mode and window. Journaled
+// version-0 specs decode and replay unchanged.
+const SpecVersion = 1
+
+// WindowSpec restricts a job to recent rows: the slice statistics are
+// computed as a weighted run with rows outside the window down-weighted to
+// zero, so "worst slices over the last N rows / last W duration". When both
+// bounds are set, a row must satisfy both. Duration windows resolve at
+// append-batch granularity: a batch is inside the window iff its arrival time
+// is (base rows carry the registration time).
+type WindowSpec struct {
+	// LastRows keeps only the most recent n rows.
+	LastRows int `json:"last_rows,omitempty"`
+	// LastMS keeps only rows that arrived within the last d milliseconds.
+	LastMS int64 `json:"last_ms,omitempty"`
+}
+
 // JobSpec is the request body of POST /v1/jobs.
 type JobSpec struct {
+	// SpecVersion is the wire version of this spec: 0 (legacy, field
+	// absent) or 1. Specs using Mode or Window must be version 1.
+	SpecVersion int `json:"spec_version,omitempty"`
 	// Dataset references a registered dataset by id (POST /v1/datasets).
 	Dataset string `json:"dataset"`
 	// Config holds the SliceLine parameters for this job.
@@ -81,7 +112,12 @@ type JobSpec struct {
 	Evaluator string `json:"evaluator,omitempty"`
 	// TimeoutMS, when > 0, bounds the job's wall-clock execution; an
 	// exceeded deadline fails the job. 0 inherits the server default.
+	// Ignored for monitor jobs, which are resident until cancelled.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Mode selects the job's lifecycle: "" (one-shot batch) or "monitor".
+	Mode string `json:"mode,omitempty"`
+	// Window, when set, restricts the run to recent rows (windowed slices).
+	Window *WindowSpec `json:"window,omitempty"`
 }
 
 // ErrBadJobSpec wraps every job-spec validation failure, matchable with
@@ -107,6 +143,9 @@ func DecodeJobSpec(r io.Reader) (JobSpec, error) {
 }
 
 func (s JobSpec) validate() error {
+	if s.SpecVersion < 0 || s.SpecVersion > SpecVersion {
+		return fmt.Errorf("%w: spec_version %d not supported (this build speaks 0..%d)", ErrBadJobSpec, s.SpecVersion, SpecVersion)
+	}
 	if s.Dataset == "" {
 		return fmt.Errorf("%w: missing dataset reference", ErrBadJobSpec)
 	}
@@ -117,6 +156,39 @@ func (s JobSpec) validate() error {
 	}
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("%w: negative timeout_ms %d", ErrBadJobSpec, s.TimeoutMS)
+	}
+	switch s.Mode {
+	case ModeBatch:
+	case ModeMonitor:
+		if s.SpecVersion < 1 {
+			return fmt.Errorf("%w: mode %q requires spec_version 1", ErrBadJobSpec, s.Mode)
+		}
+		if s.Evaluator == EvalDist {
+			return fmt.Errorf("%w: monitor jobs evaluate locally (incremental maintenance), not %q", ErrBadJobSpec, EvalDist)
+		}
+		if s.Window != nil {
+			return fmt.Errorf("%w: monitor jobs track the full dataset; window is not supported", ErrBadJobSpec)
+		}
+		// The incremental evaluator owns the execution plan.
+		if s.Config.DenseEval || s.Config.PriorityEnumeration {
+			return fmt.Errorf("%w: monitor jobs cannot use dense or priority evaluation", ErrBadJobSpec)
+		}
+	default:
+		return fmt.Errorf("%w: unknown mode %q (want \"\" or %q)", ErrBadJobSpec, s.Mode, ModeMonitor)
+	}
+	if w := s.Window; w != nil {
+		if s.SpecVersion < 1 {
+			return fmt.Errorf("%w: window requires spec_version 1", ErrBadJobSpec)
+		}
+		if w.LastRows < 0 || w.LastMS < 0 {
+			return fmt.Errorf("%w: negative window bounds", ErrBadJobSpec)
+		}
+		if w.LastRows == 0 && w.LastMS == 0 {
+			return fmt.Errorf("%w: empty window (set last_rows and/or last_ms)", ErrBadJobSpec)
+		}
+		if s.Evaluator == EvalDist {
+			return fmt.Errorf("%w: windowed jobs evaluate locally (row weights), not %q", ErrBadJobSpec, EvalDist)
+		}
 	}
 	if _, err := core.ParseBitsetMode(s.Config.Bitset); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadJobSpec, err)
@@ -135,22 +207,31 @@ type DatasetInfo struct {
 	Rows        int    `json:"rows"`
 	Features    int    `json:"features"`
 	OneHotWidth int    `json:"onehot_width"`
-	Signature   string `json:"signature"` // hex FNV data signature
+	Signature   string `json:"signature"` // hex FNV data signature of the current generation
+	// Generation counts applied appends; 0 is the registered base.
+	Generation int `json:"generation"`
+	// Appendable reports that the dataset accepts POST /v1/datasets/{id}/rows
+	// (registered in err-column mode).
+	Appendable bool `json:"appendable,omitempty"`
 	// Reused reports that the upload matched an already-registered
 	// dataset byte for byte and no new entry was created.
 	Reused bool `json:"reused,omitempty"`
 }
 
 // JobInfo describes a job (responses of the /v1/jobs endpoints). Result is
-// the versioned core result document, present only once the job is done.
+// the versioned core result document, present once the job is done — or, for
+// a running monitor job, the latest refreshed result (Generation says which
+// dataset generation it covers).
 type JobInfo struct {
-	ID        string          `json:"id"`
-	Dataset   string          `json:"dataset"`
-	Status    string          `json:"status"`
-	Cached    bool            `json:"cached,omitempty"`
-	Error     string          `json:"error,omitempty"`
-	Evaluator string          `json:"evaluator,omitempty"`
-	Result    json.RawMessage `json:"result,omitempty"`
+	ID         string          `json:"id"`
+	Dataset    string          `json:"dataset"`
+	Status     string          `json:"status"`
+	Mode       string          `json:"mode,omitempty"`
+	Cached     bool            `json:"cached,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Evaluator  string          `json:"evaluator,omitempty"`
+	Generation int             `json:"generation,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
 }
 
 // Healthz is the response of GET /v1/healthz.
@@ -176,7 +257,12 @@ type ClusterInfo struct {
 	Members []membership.MemberStatus `json:"members"`
 }
 
-// apiError is the uniform JSON error envelope.
-type apiError struct {
-	Error string `json:"error"`
+// AppendInfo is the response of POST /v1/datasets/{id}/rows.
+type AppendInfo struct {
+	ID         string   `json:"id"`
+	Generation int      `json:"generation"`
+	Rows       int      `json:"rows"`     // accumulated row count after the append
+	NewRows    int      `json:"new_rows"` // rows this batch added
+	Grown      []string `json:"grown,omitempty"`
+	Signature  string   `json:"signature"` // hex data signature of this generation
 }

@@ -1,0 +1,61 @@
+package server
+
+import "net/http"
+
+// The /v1 surface reports every failure with one JSON envelope:
+//
+//	{"error": {"code": "not_found", "message": "server: no such dataset"}}
+//
+// Codes are stable, machine-matchable strings (the HTTP status carries the
+// coarse class, the code the specific condition); messages are human-readable
+// and may change between releases. See API.md, "Errors".
+
+// Error codes used across the /v1 handlers.
+const (
+	codeBadRequest    = "bad_request"    // malformed body, params, or CSV
+	codeBadJobSpec    = "bad_job_spec"   // job spec failed validation
+	codeNotFound      = "not_found"      // unknown dataset or job id
+	codeNotAppendable = "not_appendable" // dataset was not registered in err-column mode
+	codeQueueFull     = "queue_full"     // admission control rejected the job
+	codeDraining      = "draining"       // server is shutting down
+	codeMonitorLimit  = "monitor_limit"  // resident monitor cap reached
+	codeInternal      = "internal"       // unexpected server-side failure
+)
+
+// apiErrorBody is the inner object of the error envelope.
+type apiErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiError is the uniform JSON error envelope of every /v1 error response.
+type apiError struct {
+	Error apiErrorBody `json:"error"`
+}
+
+// defaultCode maps an HTTP status to the envelope code used when the call
+// site has no more specific one.
+func defaultCode(status int) string {
+	switch status {
+	case http.StatusNotFound:
+		return codeNotFound
+	case http.StatusTooManyRequests:
+		return codeQueueFull
+	case http.StatusServiceUnavailable:
+		return codeDraining
+	case http.StatusBadRequest:
+		return codeBadRequest
+	default:
+		return codeInternal
+	}
+}
+
+// writeError emits the envelope with the status's default code.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeErrorCode(w, status, defaultCode(status), err)
+}
+
+// writeErrorCode emits the envelope with an explicit code.
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, apiError{Error: apiErrorBody{Code: code, Message: err.Error()}})
+}

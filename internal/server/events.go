@@ -1,20 +1,38 @@
 package server
 
 import (
+	"encoding/json"
 	"sync"
 
 	"sliceline/internal/core"
 )
 
-// eventLog accumulates a job's per-level progress events and terminal state,
-// and lets any number of SSE subscribers replay the history and then follow
-// live updates. Broadcast is by channel close: every update closes the
-// current change channel and installs a fresh one, so a subscriber waits on
-// one channel receive with no per-subscriber bookkeeping (a subscriber that
+// logEvent is one entry of a job's event history. Exactly one payload is set,
+// selected by kind: "level" (a completed lattice level) or "result" (a
+// monitor's refreshed top-K for one dataset generation).
+type logEvent struct {
+	kind   string
+	level  core.LevelStats
+	result resultEvent
+}
+
+// resultEvent is the SSE payload of a monitor's "result" event: the full
+// versioned result document plus the dataset generation it covers.
+type resultEvent struct {
+	Generation int             `json:"generation"`
+	Rows       int             `json:"rows"`
+	Result     json.RawMessage `json:"result"`
+}
+
+// eventLog accumulates a job's progress events and terminal state, and lets
+// any number of SSE subscribers replay the history and then follow live
+// updates. Broadcast is by channel close: every update closes the current
+// change channel and installs a fresh one, so a subscriber waits on one
+// channel receive with no per-subscriber bookkeeping (a subscriber that
 // disconnects simply stops reading).
 type eventLog struct {
 	mu       sync.Mutex
-	levels   []core.LevelStats
+	entries  []logEvent
 	terminal string // "", or a terminal job status
 	errMsg   string
 	change   chan struct{}
@@ -28,7 +46,15 @@ func newEventLog() *eventLog {
 // wired into the run through core.Config.OnLevel.
 func (l *eventLog) addLevel(ls core.LevelStats) {
 	l.mu.Lock()
-	l.levels = append(l.levels, ls)
+	l.entries = append(l.entries, logEvent{kind: "level", level: ls})
+	l.wake()
+	l.mu.Unlock()
+}
+
+// addResult appends one refreshed monitor result and wakes subscribers.
+func (l *eventLog) addResult(ev resultEvent) {
+	l.mu.Lock()
+	l.entries = append(l.entries, logEvent{kind: "result", result: ev})
 	l.wake()
 	l.mu.Unlock()
 }
@@ -37,7 +63,10 @@ func (l *eventLog) addLevel(ls core.LevelStats) {
 // hits, journal re-serves) so late subscribers still see the full history.
 func (l *eventLog) replay(levels []core.LevelStats) {
 	l.mu.Lock()
-	l.levels = append([]core.LevelStats(nil), levels...)
+	l.entries = l.entries[:0]
+	for _, ls := range levels {
+		l.entries = append(l.entries, logEvent{kind: "level", level: ls})
+	}
 	l.wake()
 	l.mu.Unlock()
 }
@@ -59,14 +88,14 @@ func (l *eventLog) wake() {
 	l.change = make(chan struct{})
 }
 
-// next returns the levels at index >= from, the terminal status ("" while
+// next returns the entries at index >= from, the terminal status ("" while
 // running), and a channel that is closed on the next update. A subscriber
-// loops: drain new levels, stop on terminal, otherwise wait on the channel.
-func (l *eventLog) next(from int) (levels []core.LevelStats, terminal, errMsg string, wait <-chan struct{}) {
+// loops: drain new entries, stop on terminal, otherwise wait on the channel.
+func (l *eventLog) next(from int) (entries []logEvent, terminal, errMsg string, wait <-chan struct{}) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if from < len(l.levels) {
-		levels = append([]core.LevelStats(nil), l.levels[from:]...)
+	if from < len(l.entries) {
+		entries = append([]logEvent(nil), l.entries[from:]...)
 	}
-	return levels, l.terminal, l.errMsg, l.change
+	return entries, l.terminal, l.errMsg, l.change
 }

@@ -3,8 +3,13 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
 	"sliceline/internal/obs"
 	"sliceline/internal/version"
@@ -16,24 +21,28 @@ const maxDatasetBytes = 64 << 20
 
 // Handler returns the service's HTTP surface:
 //
-//	POST   /v1/datasets            register a CSV dataset (body: CSV)
+//	POST   /v1/datasets            register a CSV dataset (JSON, multipart,
+//	                               or legacy query-param + raw CSV body)
 //	GET    /v1/datasets            list registered datasets
 //	GET    /v1/datasets/{id}       one dataset's descriptor
+//	POST   /v1/datasets/{id}/rows  append rows (body: CSV with err column)
 //	POST   /v1/jobs                submit a job (body: JobSpec JSON)
 //	GET    /v1/jobs                list jobs
 //	GET    /v1/jobs/{id}           job status + result when done
-//	GET    /v1/jobs/{id}/events    SSE per-level progress stream
-//	DELETE /v1/jobs/{id}           cancel a job
+//	GET    /v1/jobs/{id}/events    SSE per-level progress + result stream
+//	DELETE /v1/jobs/{id}           cancel a job (including monitors)
 //	GET    /v1/healthz             liveness, version, pool/queue state
 //	GET    /v1/cluster             elastic fleet membership (when configured)
 //
 // plus the observability surface of internal/obs (/metrics, /metrics.json,
-// /debug/vars, /debug/pprof/) when the server has a metrics registry.
+// /debug/vars, /debug/pprof/) when the server has a metrics registry. The
+// wire contract, including the JSON error envelope, is documented in API.md.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/datasets", s.handleRegisterDataset)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("GET /v1/datasets/{id}", s.handleGetDataset)
+	mux.HandleFunc("POST /v1/datasets/{id}/rows", s.handleAppendRows)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -69,30 +78,116 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
+// registerRequest is the JSON registration body of POST /v1/datasets.
+type registerRequest struct {
+	Name  string `json:"name,omitempty"`
+	Label string `json:"label,omitempty"`
+	Task  string `json:"task,omitempty"`
+	Err   string `json:"err,omitempty"`
+	Bins  int    `json:"bins,omitempty"`
+	CSV   string `json:"csv"`
 }
 
-// handleRegisterDataset implements POST /v1/datasets. The body is the CSV;
-// registration parameters ride the query string: name, label, task
-// (class|reg), err (precomputed error column), bins.
+// handleRegisterDataset implements POST /v1/datasets. Three body forms:
+//
+//   - application/json: a registerRequest carrying the metadata and the CSV
+//     document inline;
+//   - multipart/form-data: fields name/label/task/err/bins plus a "csv" file
+//     part (the form for big uploads);
+//   - anything else (legacy): the raw CSV as the body with metadata in the
+//     query string — still accepted, answered with a Deprecation header.
 func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	opt := registerOptions{
-		Name:  q.Get("name"),
-		Label: q.Get("label"),
-		Task:  q.Get("task"),
-		Err:   q.Get("err"),
-	}
-	if b := q.Get("bins"); b != "" {
-		n, err := strconv.Atoi(b)
-		if err != nil || n < 1 {
+	body := http.MaxBytesReader(w, r.Body, maxDatasetBytes)
+	var (
+		opt registerOptions
+		csv io.Reader
+	)
+	ct := r.Header.Get("Content-Type")
+	mt, _, _ := mime.ParseMediaType(ct)
+	switch {
+	case mt == "application/json":
+		var req registerRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding registration body: %v", err))
+			return
+		}
+		if req.CSV == "" {
+			writeError(w, http.StatusBadRequest, errors.New("server: registration body misses the csv document"))
+			return
+		}
+		opt = registerOptions{Name: req.Name, Label: req.Label, Task: req.Task, Err: req.Err, Bins: req.Bins}
+		if req.Bins < 0 {
 			writeError(w, http.StatusBadRequest, errors.New("server: bins must be a positive integer"))
 			return
 		}
-		opt.Bins = n
+		csv = strings.NewReader(req.CSV)
+	case mt == "multipart/form-data":
+		mr, err := r.MultipartReader()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: reading multipart body: %v", err))
+			return
+		}
+		form, err := mr.ReadForm(maxDatasetBytes)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: reading multipart form: %v", err))
+			return
+		}
+		defer form.RemoveAll() //nolint:errcheck // best-effort temp cleanup
+		field := func(name string) string {
+			if v := form.Value[name]; len(v) > 0 {
+				return v[0]
+			}
+			return ""
+		}
+		opt = registerOptions{Name: field("name"), Label: field("label"), Task: field("task"), Err: field("err")}
+		if b := field("bins"); b != "" {
+			n, err := strconv.Atoi(b)
+			if err != nil || n < 1 {
+				writeError(w, http.StatusBadRequest, errors.New("server: bins must be a positive integer"))
+				return
+			}
+			opt.Bins = n
+		}
+		files := form.File["csv"]
+		if len(files) == 0 {
+			files = form.File["file"]
+		}
+		if len(files) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("server: multipart registration misses the csv file part"))
+			return
+		}
+		f, err := files[0].Open()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: opening csv part: %v", err))
+			return
+		}
+		defer f.Close()
+		csv = f
+	default:
+		// Legacy form: raw CSV body, metadata in the query string.
+		q := r.URL.Query()
+		opt = registerOptions{
+			Name:  q.Get("name"),
+			Label: q.Get("label"),
+			Task:  q.Get("task"),
+			Err:   q.Get("err"),
+		}
+		if b := q.Get("bins"); b != "" {
+			n, err := strconv.Atoi(b)
+			if err != nil || n < 1 {
+				writeError(w, http.StatusBadRequest, errors.New("server: bins must be a positive integer"))
+				return
+			}
+			opt.Bins = n
+		}
+		csv = body
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</API.md>; rel="deprecation"`)
 	}
-	entry, err := buildDataset(http.MaxBytesReader(w, r.Body, maxDatasetBytes), opt)
+
+	entry, err := buildDataset(csv, opt)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -107,6 +202,38 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, info)
+}
+
+// handleAppendRows implements POST /v1/datasets/{id}/rows: the body is a CSV
+// document with the dataset's feature columns plus its err column. The append
+// advances the dataset's generation, wakes resident monitor jobs, and is
+// journaled so a restarted server replays to the current generation.
+func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: no such dataset"))
+		return
+	}
+	if !d.appendable() {
+		writeErrorCode(w, http.StatusBadRequest, codeNotAppendable,
+			errors.New("server: dataset was not registered with an err column; only err-column datasets accept appends"))
+		return
+	}
+	snap := d.snapshot()
+	rows, errs, err := parseAppendCSV(http.MaxBytesReader(w, r.Body, maxDatasetBytes), snap.DS.Features, d.ErrCol)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	at := time.Now()
+	info, err := d.appendRows(rows, errs, at)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.ob.appends.Inc()
+	s.journalFailed("append", s.journal.saveAppend(d.ID, info.Generation, rows, errs, at.UnixNano()))
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
@@ -130,12 +257,19 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	spec, err := DecodeJobSpec(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeErrorCode(w, http.StatusBadRequest, codeBadJobSpec, err)
 		return
 	}
 	j, status, err := s.submit(spec)
 	if err != nil {
-		writeError(w, status, err)
+		code := defaultCode(status)
+		switch {
+		case errors.Is(err, ErrBadJobSpec):
+			code = codeBadJobSpec
+		case errors.Is(err, errMonitorLimit):
+			code = codeMonitorLimit
+		}
+		writeErrorCode(w, status, code, err)
 		return
 	}
 	writeJSON(w, status, j.info())

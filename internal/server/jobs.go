@@ -34,14 +34,26 @@ func (s jobState) terminal() bool {
 	return s == jobDone || s == jobFailed || s == jobCancelled
 }
 
-// job is one slice-finding request moving through the pool.
+// errMonitorLimit rejects a monitor submission once the resident cap is
+// reached (HTTP 429 with code monitor_limit).
+var errMonitorLimit = errors.New("server: monitor limit reached")
+
+// job is one slice-finding request moving through the pool — or, in monitor
+// mode, resident beside it.
 type job struct {
-	id      string
-	spec    JobSpec
-	ds      *datasetEntry
+	id   string
+	spec JobSpec
+	// ds is the live registry entry; only monitors touch it after
+	// submission (to wait for appends). Batch execution reads snap.
+	ds *datasetEntry
+	// snap is the dataset generation captured at submission: batch jobs
+	// evaluate exactly this generation no matter what is appended
+	// meanwhile, and the cache key and journal record pin its signature.
+	snap    dsSnapshot
 	cfg     core.Config // resolved via WithDefaults; hooks unset
 	key     cacheKey
 	useDist bool
+	monitor bool
 	resume  bool // restored from the journal: resume from the checkpoint
 
 	// ctx is created at submission so DELETE can cancel a job that is
@@ -57,6 +69,7 @@ type job struct {
 	result     *core.Result
 	resultJSON []byte
 	errMsg     string
+	gen        int // dataset generation resultJSON covers (monitor refreshes)
 
 	events *eventLog
 	done   chan struct{} // closed on terminal state
@@ -69,6 +82,7 @@ func (j *job) info() JobInfo {
 		ID:      j.id,
 		Dataset: j.spec.Dataset,
 		Status:  string(j.state),
+		Mode:    j.spec.Mode,
 		Cached:  j.cached,
 		Error:   j.errMsg,
 	}
@@ -77,10 +91,21 @@ func (j *job) info() JobInfo {
 	} else {
 		info.Evaluator = EvalLocal
 	}
-	if j.state == jobDone {
+	// A monitor carries its latest refreshed result while still running.
+	if j.state == jobDone || (j.monitor && j.resultJSON != nil) {
 		info.Result = json.RawMessage(j.resultJSON)
+		info.Generation = j.gen
 	}
 	return info
+}
+
+// setRefreshed records a monitor's latest maintained result (non-terminal).
+func (j *job) setRefreshed(res *core.Result, js []byte, gen int) {
+	j.mu.Lock()
+	j.result = res
+	j.resultJSON = js
+	j.gen = gen
+	j.mu.Unlock()
 }
 
 func (j *job) currentState() jobState {
@@ -98,21 +123,33 @@ func (s *Server) submit(spec JobSpec) (*job, int, error) {
 	if !ok {
 		return nil, http.StatusNotFound, fmt.Errorf("server: unknown dataset %q", spec.Dataset)
 	}
+	// Jobs evaluate a point-in-time snapshot: appends arriving after this
+	// line do not change what this job computes.
+	snap := ds.snapshot()
+
+	// Monitor and windowed jobs always evaluate locally (validate rejects
+	// an explicit "dist" for them; auto must not pick it either).
+	local := spec.Mode == ModeMonitor || spec.Window != nil
 	useDist := spec.Evaluator == EvalDist ||
-		(spec.Evaluator == EvalAuto && s.distCapable())
+		(spec.Evaluator == EvalAuto && !local && s.distCapable())
 	if useDist && !s.distCapable() {
 		return nil, http.StatusBadRequest, fmt.Errorf("server: job requests distributed evaluation but the server has no workers or membership configured")
 	}
 
-	cfg := spec.Config.ToCore().WithDefaults(ds.DS.NumRows())
+	if spec.Mode == ModeMonitor {
+		return s.submitMonitor(spec, ds, snap)
+	}
+
+	cfg := spec.Config.ToCore().WithDefaults(snap.DS.NumRows())
 	if err := cfg.Validate(); err != nil {
 		return nil, http.StatusBadRequest, err
 	}
 	j := &job{
 		spec:    spec,
 		ds:      ds,
+		snap:    snap,
 		cfg:     cfg,
-		key:     cacheKey{dataSig: ds.Sig, cfgSig: core.ConfigSignature(cfg), maxLevel: cfg.MaxLevel},
+		key:     cacheKey{dataSig: snap.Sig, cfgSig: core.ConfigSignature(cfg), maxLevel: cfg.MaxLevel},
 		useDist: useDist,
 		state:   jobQueued,
 		events:  newEventLog(),
@@ -120,25 +157,30 @@ func (s *Server) submit(spec JobSpec) (*job, int, error) {
 	}
 
 	// Result cache: an identical completed run answers without touching
-	// the pool (and without emitting any new core.run span).
-	if hit, ok := s.cache.get(j.key); ok {
-		j.id = s.newJobID()
-		j.cached = true
-		j.state = jobDone
-		j.result = hit.res
-		j.resultJSON = hit.json
-		j.events.replay(hit.res.Levels)
-		j.events.finish(string(jobDone), "")
-		close(j.done)
-		s.addJob(j)
-		s.ob.submitted.Inc()
-		s.ob.cacheHits.Inc()
-		s.ob.done.Inc()
-		// Serving beats journaling; the next save retries the file.
-		s.journalFailed("cache hit", s.journal.saveJob(j))
-		return j, http.StatusAccepted, nil
+	// the pool (and without emitting any new core.run span). Windowed jobs
+	// skip the cache entirely — their answer depends on wall-clock time,
+	// not just (data, config).
+	if spec.Window == nil {
+		if hit, ok := s.cache.get(j.key); ok {
+			j.id = s.newJobID()
+			j.cached = true
+			j.state = jobDone
+			j.result = hit.res
+			j.resultJSON = hit.json
+			j.gen = snap.Gen
+			j.events.replay(hit.res.Levels)
+			j.events.finish(string(jobDone), "")
+			close(j.done)
+			s.addJob(j)
+			s.ob.submitted.Inc()
+			s.ob.cacheHits.Inc()
+			s.ob.done.Inc()
+			// Serving beats journaling; the next save retries the file.
+			s.journalFailed("cache hit", s.journal.saveJob(j))
+			return j, http.StatusAccepted, nil
+		}
+		s.ob.cacheMiss.Inc()
 	}
-	s.ob.cacheMiss.Inc()
 
 	timeout := s.cfg.JobTimeout
 	if spec.TimeoutMS > 0 {
@@ -315,11 +357,17 @@ func (s *Server) finishJob(j *job, res *core.Result, err error) {
 	if st == jobDone {
 		j.result = res
 		j.resultJSON = js
+		j.gen = j.snap.Gen
 	}
 	j.mu.Unlock()
 
 	if st == jobDone {
-		s.cache.put(j.key, res, js)
+		// Windowed results are a function of wall-clock time, monitor
+		// results of a moving generation; neither may answer a later
+		// batch submission from the cache.
+		if j.spec.Window == nil && !j.monitor {
+			s.cache.put(j.key, res, js)
+		}
 		s.ob.done.Inc()
 		s.journal.dropCheckpoint(j.id)
 	}
@@ -367,7 +415,7 @@ func (s *Server) runJobReal(ctx context.Context, j *job) (*core.Result, error) {
 	// span) parents under it.
 	sp := obs.Start(s.cfg.Tracer, "server.job")
 	sp.SetStr("job", j.id)
-	sp.SetStr("dataset", j.ds.ID)
+	sp.SetStr("dataset", j.snap.ID)
 	sp.SetBool("dist", j.useDist)
 	sp.SetBool("resume", j.resume)
 	defer sp.End()
@@ -379,11 +427,13 @@ func (s *Server) runJobReal(ctx context.Context, j *job) (*core.Result, error) {
 		opts.Metrics = s.cfg.Metrics
 		if s.cfg.Membership != nil {
 			// Elastic fleet: partition keys are content-addressed by the
-			// dataset signature, so concurrent jobs on shared workers cannot
-			// collide and no distMu serialization is needed. The cluster
-			// follows the registrar for the job's duration, so members that
-			// join, crash, or flap mid-run are absorbed by rebalancing.
-			opts.PlacementSeed = j.ds.Sig
+			// dataset signature of the job's generation, so concurrent jobs
+			// on shared workers cannot collide — and a partition shipped for
+			// an earlier generation can never answer for a newer one. The
+			// cluster follows the registrar for the job's duration, so
+			// members that join, crash, or flap mid-run are absorbed by
+			// rebalancing.
+			opts.PlacementSeed = j.snap.Sig
 			cluster, err := dist.NewElasticCluster(dist.MemberDialer(dist.DialOptions{}), opts)
 			if err != nil {
 				return nil, fmt.Errorf("server: building elastic cluster: %w", err)
@@ -403,7 +453,53 @@ func (s *Server) runJobReal(ctx context.Context, j *job) (*core.Result, error) {
 			cfg.Evaluator = cluster
 		}
 	}
-	return core.RunEncodedContext(ctx, j.ds.Enc, j.ds.DS.Features, j.ds.ErrVec, cfg)
+	if j.spec.Window != nil {
+		w, err := windowWeights(j.snap, j.spec.Window, time.Now())
+		if err != nil {
+			return nil, err
+		}
+		return core.RunEncodedWeightedContext(ctx, j.snap.Enc, j.snap.DS.Features, j.snap.ErrVec, w, cfg)
+	}
+	return core.RunEncodedContext(ctx, j.snap.Enc, j.snap.DS.Features, j.snap.ErrVec, cfg)
+}
+
+// windowWeights turns a WindowSpec into a 0/1 row-weight vector over the
+// snapshot: rows outside the window weigh zero, so the weighted run computes
+// "worst slices over the recent rows" — bit-identical to running on the
+// suffix alone, because zero-weight rows contribute exact +0.0 terms to every
+// aggregate. Duration bounds resolve at append-batch granularity: generation
+// g's rows arrived at snap.GenAt[g] and occupy [GenEnd[g-1], GenEnd[g]).
+func windowWeights(snap dsSnapshot, w *WindowSpec, now time.Time) ([]float64, error) {
+	n := snap.DS.NumRows()
+	lo := 0
+	if w.LastRows > 0 && n-w.LastRows > lo {
+		lo = n - w.LastRows
+	}
+	if w.LastMS > 0 {
+		cutoff := now.Add(-time.Duration(w.LastMS) * time.Millisecond)
+		tlo := n // nothing recent enough until proven otherwise
+		for g := len(snap.GenAt) - 1; g >= 0; g-- {
+			if snap.GenAt[g].Before(cutoff) {
+				break
+			}
+			if g == 0 {
+				tlo = 0
+			} else {
+				tlo = snap.GenEnd[g-1]
+			}
+		}
+		if tlo > lo {
+			lo = tlo
+		}
+	}
+	if lo >= n {
+		return nil, fmt.Errorf("server: window selects no rows (dataset has %d, all older than the window)", n)
+	}
+	weights := make([]float64, n)
+	for i := lo; i < n; i++ {
+		weights[i] = 1
+	}
+	return weights, nil
 }
 
 // dialCluster connects to every worker address and assembles the cluster.

@@ -21,28 +21,40 @@ import (
 //
 // Layout (all writes are atomic temp-file + rename, like core checkpoints):
 //
-//	<dir>/ds_<sig>.dataset.gob   registered dataset + error vector
-//	<dir>/job-<n>.job.gob        job record (spec, status, result JSON)
-//	<dir>/job-<n>.ck             core enumeration checkpoint (while running)
+//	<dir>/ds_<sig>.dataset.gob        registered dataset + error vector (generation 0)
+//	<dir>/ds_<sig>.gen<n>.rows.gob    one appended row batch (generation n)
+//	<dir>/job-<n>.job.gob             job record (spec, status, result JSON)
+//	<dir>/job-<n>.ck                  core enumeration checkpoint (while running)
+//
+// Appends are journaled as raw string rows, not encoded matrices: on restore
+// the base dataset is rebuilt from its file and every batch is re-applied in
+// generation order through the exact same append path the live server used,
+// so the restored entry reaches the same generation with the same signature.
 
 const (
 	journalDatasetSuffix = ".dataset.gob"
 	journalJobSuffix     = ".job.gob"
+	journalAppendSuffix  = ".rows.gob"
 	journalVersion       = 1
 )
 
 // journalDataset is the on-disk form of a registry entry. The one-hot
 // encoding and signature are recomputed on load (cheaper to redo than to
-// store, and it revalidates the file).
+// store, and it revalidates the file). Fields added after v1 (ErrCol) decode
+// as zero values from old files — gob tolerates missing fields — which is
+// exactly the pre-streaming behaviour (not appendable).
 type journalDataset struct {
 	Version int
 	ID      string
 	Name    string
 	DS      *frame.Dataset
 	ErrVec  []float64
+	ErrCol  string
 }
 
-// journalJob is the on-disk form of a job record.
+// journalJob is the on-disk form of a job record. DataSig pins the dataset
+// generation the job ran against, so a completed job restored after further
+// appends does not seed the result cache under the newer generation's key.
 type journalJob struct {
 	Version    int
 	ID         string
@@ -51,6 +63,19 @@ type journalJob struct {
 	Cached     bool
 	ErrMsg     string
 	ResultJSON []byte
+	DataSig    uint64
+}
+
+// journalAppend is one appended row batch. Rows are the raw CSV cell values
+// in feature order (plus the error values split out), i.e. the validated
+// input of datasetEntry.appendRows.
+type journalAppend struct {
+	Version int
+	ID      string // dataset id
+	Gen     int    // generation this batch produced (1-based)
+	Rows    [][]string
+	Errs    []float64
+	AtUnix  int64 // arrival time (unix nanos) so duration windows survive restarts
 }
 
 type journal struct {
@@ -75,6 +100,10 @@ func (j *journal) jobPath(id string) string {
 // checkpointPath is handed to core.Config.CheckpointPath for running jobs.
 func (j *journal) checkpointPath(id string) string {
 	return filepath.Join(j.dir, id+".ck")
+}
+
+func (j *journal) appendPath(id string, gen int) string {
+	return filepath.Join(j.dir, fmt.Sprintf("%s.gen%d%s", id, gen, journalAppendSuffix))
 }
 
 // writeGob atomically writes one gob document.
@@ -115,8 +144,46 @@ func (j *journal) saveDataset(d *datasetEntry) error {
 		return nil
 	}
 	return writeGob(j.datasetPath(d.ID), &journalDataset{
-		Version: journalVersion, ID: d.ID, Name: d.Name, DS: d.DS, ErrVec: d.ErrVec,
+		Version: journalVersion, ID: d.ID, Name: d.Name, DS: d.DS, ErrVec: d.ErrVec, ErrCol: d.ErrCol,
 	})
+}
+
+// saveAppend journals one appended row batch. A nil journal is a no-op.
+func (j *journal) saveAppend(id string, gen int, rows [][]string, errs []float64, atUnix int64) error {
+	if j == nil {
+		return nil
+	}
+	return writeGob(j.appendPath(id, gen), &journalAppend{
+		Version: journalVersion, ID: id, Gen: gen, Rows: rows, Errs: errs, AtUnix: atUnix,
+	})
+}
+
+// loadAppends returns a dataset's journaled append batches in generation
+// order. A gap in the sequence fails the load (the entry could not be
+// replayed to its last journaled generation).
+func (j *journal) loadAppends(id string) ([]*journalAppend, error) {
+	paths, err := filepath.Glob(filepath.Join(j.dir, id+".gen*"+journalAppendSuffix))
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]*journalAppend, 0, len(paths))
+	for _, p := range paths {
+		var rec journalAppend
+		if err := readGob(p, &rec); err != nil {
+			return nil, fmt.Errorf("server: reading journaled append %s: %w", p, err)
+		}
+		if rec.Version != journalVersion {
+			return nil, fmt.Errorf("server: journaled append %s has version %d, this build reads %d", p, rec.Version, journalVersion)
+		}
+		recs = append(recs, &rec)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].Gen < recs[b].Gen })
+	for i, rec := range recs {
+		if rec.Gen != i+1 {
+			return nil, fmt.Errorf("server: journaled appends for %s have a gap: want generation %d, found %d", id, i+1, rec.Gen)
+		}
+	}
+	return recs, nil
 }
 
 // saveJob journals a job's current record. A nil journal is a no-op.
@@ -132,6 +199,7 @@ func (j *journal) saveJob(jb *job) error {
 		Status:  string(jb.state),
 		Cached:  jb.cached,
 		ErrMsg:  jb.errMsg,
+		DataSig: jb.snap.Sig,
 	}
 	if jb.state == jobDone {
 		rec.ResultJSON = jb.resultJSON
@@ -170,7 +238,7 @@ func (j *journal) loadDatasets() ([]*datasetEntry, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: re-encoding journaled dataset %s: %w", p, err)
 		}
-		entry, err := finishEntry(rec.DS, enc, rec.ErrVec, rec.Name)
+		entry, err := finishEntry(rec.DS, enc, rec.ErrVec, rec.Name, rec.ErrCol)
 		if err != nil {
 			return nil, fmt.Errorf("server: restoring journaled dataset %s: %w", p, err)
 		}

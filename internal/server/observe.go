@@ -17,8 +17,11 @@ type serverObs struct {
 	cacheMiss   *obs.Counter
 	resumed     *obs.Counter
 	journalErrs *obs.Counter
+	appends     *obs.Counter
+	refreshes   *obs.Counter
 	queueDepth  *obs.Gauge
 	inflight    *obs.Gauge
+	monitors    *obs.Gauge
 	jobSecs     *obs.Histogram
 	queueSecs   *obs.Histogram
 }
@@ -37,8 +40,11 @@ func newServerObs(r *obs.Registry) serverObs {
 		resumed:   r.Counter("sl_server_jobs_resumed_total", "Journaled jobs re-enqueued after a server restart."),
 		journalErrs: r.Counter("sl_server_journal_errors_total",
 			"Journal writes that failed (the job kept serving; the next save retries the file)."),
+		appends:    r.Counter("sl_server_appends_total", "Dataset append batches applied."),
+		refreshes:  r.Counter("sl_server_monitor_refreshes_total", "Monitor top-K refreshes emitted."),
 		queueDepth: r.Gauge("sl_server_queue_depth", "Jobs waiting for a worker slot."),
 		inflight:   r.Gauge("sl_server_inflight_jobs", "Jobs currently executing."),
+		monitors:   r.Gauge("sl_server_monitor_jobs", "Resident monitor jobs currently running."),
 		jobSecs:    r.Histogram("sl_server_job_seconds", "Job execution wall time (excluding queue wait).", nil),
 		queueSecs:  r.Histogram("sl_server_queue_wait_seconds", "Time a job spent queued before execution.", nil),
 	}

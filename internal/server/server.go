@@ -24,8 +24,9 @@ import (
 
 // Defaults for Config zero values.
 const (
-	DefaultPool       = 4
-	DefaultQueueDepth = 64
+	DefaultPool        = 4
+	DefaultQueueDepth  = 64
+	DefaultMaxMonitors = 8
 )
 
 // Config configures a Server.
@@ -37,8 +38,13 @@ type Config struct {
 	QueueDepth int
 	// JobTimeout, when > 0, is the default per-job execution deadline;
 	// a job spec's timeout_ms overrides it. Exceeding it fails the job
-	// through the usual context-cancellation paths.
+	// through the usual context-cancellation paths. Monitor jobs ignore
+	// it (resident until cancelled).
 	JobTimeout time.Duration
+	// MaxMonitors bounds the resident monitor jobs (mode "monitor");
+	// submissions beyond it are rejected with HTTP 429 and code
+	// monitor_limit. <= 0 selects 8.
+	MaxMonitors int
 	// JournalDir, when non-empty, persists datasets, job records and
 	// per-level enumeration checkpoints there, so a restarted server
 	// re-serves completed jobs and resumes in-flight ones.
@@ -83,11 +89,12 @@ type Server struct {
 	journal *journal
 	ob      serverObs
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string
-	closed bool
-	queue  chan *job
+	mu           sync.Mutex
+	jobs         map[string]*job
+	order        []string
+	closed       bool
+	queue        chan *job
+	monitorCount int // resident monitors, capped by maxMonitors()
 
 	nextID atomic.Int64
 	wg     sync.WaitGroup
@@ -140,7 +147,10 @@ func New(cfg Config) (*Server, error) {
 }
 
 // restoreDatasetsAndLoadJobs replays the journal's dataset files into the
-// registry and loads the raw job records.
+// registry — base upload first, then every journaled append batch in
+// generation order through the live append path, so each restored entry
+// reaches its pre-restart generation with the same signature — and loads the
+// raw job records.
 func (s *Server) restoreDatasetsAndLoadJobs() ([]*journalJob, error) {
 	entries, err := s.journal.loadDatasets()
 	if err != nil {
@@ -148,6 +158,15 @@ func (s *Server) restoreDatasetsAndLoadJobs() ([]*journalJob, error) {
 	}
 	for _, d := range entries {
 		s.reg.add(d)
+		recs, err := s.journal.loadAppends(d.ID)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			if _, err := d.appendRows(rec.Rows, rec.Errs, time.Unix(0, rec.AtUnix)); err != nil {
+				return nil, fmt.Errorf("server: replaying journaled append %d for %s: %w", rec.Gen, d.ID, err)
+			}
+		}
 	}
 	recs, maxSeq, err := s.journal.loadJobs()
 	if err != nil {
@@ -158,19 +177,27 @@ func (s *Server) restoreDatasetsAndLoadJobs() ([]*journalJob, error) {
 }
 
 // restoreJobs rebuilds the job table from journal records: terminal jobs are
-// re-served (done results also feed the cache), unfinished jobs are
-// re-enqueued with Resume set so they continue from their last completed
-// lattice level.
+// re-served (done results also feed the cache, keyed by the generation
+// signature they actually ran against), unfinished batch jobs are re-enqueued
+// with Resume set so they continue from their last completed lattice level,
+// and unfinished monitor jobs restart as fresh residents over the restored
+// dataset's current generation.
 func (s *Server) restoreJobs(recs []*journalJob) {
 	for _, rec := range recs {
 		ds, haveDS := s.reg.get(rec.Spec.Dataset)
 		j := &job{
-			id:     rec.ID,
-			spec:   rec.Spec,
-			ds:     ds,
-			cached: rec.Cached,
-			events: newEventLog(),
-			done:   make(chan struct{}),
+			id:      rec.ID,
+			spec:    rec.Spec,
+			ds:      ds,
+			monitor: rec.Spec.Mode == ModeMonitor,
+			cached:  rec.Cached,
+			events:  newEventLog(),
+			done:    make(chan struct{}),
+		}
+		var snap dsSnapshot
+		if haveDS {
+			snap = ds.snapshot()
+			j.snap = snap
 		}
 		st := jobState(rec.Status)
 		if st.terminal() {
@@ -181,12 +208,20 @@ func (s *Server) restoreJobs(recs []*journalJob) {
 				if err := json.Unmarshal(rec.ResultJSON, &res); err == nil {
 					j.result = &res
 					j.resultJSON = rec.ResultJSON
-					cfg := rec.Spec.Config.ToCore().WithDefaults(ds.DS.NumRows())
-					s.cache.put(cacheKey{
-						dataSig:  ds.Sig,
-						cfgSig:   core.ConfigSignature(cfg),
-						maxLevel: cfg.MaxLevel,
-					}, &res, rec.ResultJSON)
+					// Feed the cache only when the result still speaks
+					// for the dataset's current generation (legacy
+					// records carry no signature and predate appends).
+					// A result pinned to an older generation is re-served
+					// by id but must not answer fresh submissions.
+					if !j.monitor && rec.Spec.Window == nil &&
+						(rec.DataSig == 0 || rec.DataSig == snap.Sig) {
+						cfg := rec.Spec.Config.ToCore().WithDefaults(snap.DS.NumRows())
+						s.cache.put(cacheKey{
+							dataSig:  snap.Sig,
+							cfgSig:   core.ConfigSignature(cfg),
+							maxLevel: cfg.MaxLevel,
+						}, &res, rec.ResultJSON)
+					}
 					j.events.replay(res.Levels)
 				}
 			}
@@ -203,14 +238,44 @@ func (s *Server) restoreJobs(recs []*journalJob) {
 			s.addRestored(j)
 			continue
 		}
+		if j.monitor {
+			// Monitors restart fresh over the current generation (their
+			// in-memory incremental state is not journaled).
+			j.cfg = rec.Spec.Config.ToCore()
+			j.state = jobRunning
+			j.ctx, j.cancel = context.WithCancel(context.Background())
+			s.mu.Lock()
+			over := s.monitorCount >= s.maxMonitors()
+			if !over {
+				s.monitorCount++
+				s.wg.Add(1)
+			}
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			s.mu.Unlock()
+			if over {
+				s.finishJob(j, nil, errMonitorLimit)
+				continue
+			}
+			s.ob.resumed.Inc()
+			s.ob.monitors.Add(1)
+			go s.runMonitor(j)
+			continue
+		}
 		// Re-enqueue with resume: the checkpoint file (when one was
-		// written before the crash) carries the completed levels.
-		cfg := rec.Spec.Config.ToCore().WithDefaults(ds.DS.NumRows())
+		// written before the crash) carries the completed levels. If the
+		// dataset advanced past the job's journaled generation, the
+		// checkpoint no longer matches the data — drop it and run fresh
+		// against the current generation instead.
+		cfg := rec.Spec.Config.ToCore().WithDefaults(snap.DS.NumRows())
 		j.cfg = cfg
-		j.key = cacheKey{dataSig: ds.Sig, cfgSig: core.ConfigSignature(cfg), maxLevel: cfg.MaxLevel}
+		j.key = cacheKey{dataSig: snap.Sig, cfgSig: core.ConfigSignature(cfg), maxLevel: cfg.MaxLevel}
 		j.useDist = rec.Spec.Evaluator == EvalDist ||
-			(rec.Spec.Evaluator == EvalAuto && s.distCapable())
-		j.resume = true
+			(rec.Spec.Evaluator == EvalAuto && rec.Spec.Window == nil && s.distCapable())
+		j.resume = rec.DataSig == 0 || rec.DataSig == snap.Sig
+		if !j.resume {
+			s.journal.dropCheckpoint(j.id)
+		}
 		j.state = jobQueued
 		j.enqueued = time.Now()
 		if rec.Spec.TimeoutMS > 0 {
@@ -256,7 +321,8 @@ func (s *Server) registerDataset(d *datasetEntry) (DatasetInfo, error) {
 }
 
 // Shutdown drains the server: no new jobs are accepted (503), queued and
-// running jobs are allowed to finish, and the pool exits. If ctx expires
+// running batch jobs are allowed to finish, resident monitors are cancelled
+// (they would otherwise never exit), and the pool exits. If ctx expires
 // first, every remaining job is cancelled and Shutdown waits for the pool
 // to observe the cancellations before returning ctx's error.
 func (s *Server) Shutdown(ctx context.Context) error {
@@ -266,6 +332,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue)
 	}
 	s.mu.Unlock()
+
+	for _, j := range s.listJobs() {
+		if j.monitor && !j.currentState().terminal() && j.cancel != nil {
+			j.cancel()
+		}
+	}
 
 	drained := make(chan struct{})
 	go func() {

@@ -23,10 +23,12 @@ type terminalEvent struct {
 
 // handleJobEvents implements GET /v1/jobs/{id}/events: a Server-Sent Events
 // stream with one "level" event per completed lattice level (history first,
-// then live) and a final "status" event carrying the terminal state. The
-// handler returns when the job reaches a terminal state or the client
-// disconnects; a finished job still yields its full history, so the stream is
-// safe to open at any point in the job's life.
+// then live), one "result" event per monitor refresh (the maintained top-K
+// for each new dataset generation), and a final "status" event carrying the
+// terminal state. The handler returns when the job reaches a terminal state
+// or the client disconnects; a finished job still yields its full history, so
+// the stream is safe to open at any point in the job's life. Monitor streams
+// stay open until the monitor is cancelled.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.getJob(r.PathValue("id"))
 	if !ok {
@@ -46,18 +48,24 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 	from := 0
 	for {
-		levels, terminal, errMsg, wait := j.events.next(from)
-		for i, ls := range levels {
-			writeSSE(w, "level", from+i, levelEvent{
-				Level:      ls.Level,
-				Candidates: ls.Candidates,
-				Valid:      ls.Valid,
-				Pruned:     ls.Pruned,
-				ElapsedMS:  ls.Elapsed.Milliseconds(),
-			})
+		entries, terminal, errMsg, wait := j.events.next(from)
+		for i, e := range entries {
+			switch e.kind {
+			case "level":
+				ls := e.level
+				writeSSE(w, "level", from+i, levelEvent{
+					Level:      ls.Level,
+					Candidates: ls.Candidates,
+					Valid:      ls.Valid,
+					Pruned:     ls.Pruned,
+					ElapsedMS:  ls.Elapsed.Milliseconds(),
+				})
+			case "result":
+				writeSSE(w, "result", from+i, e.result)
+			}
 		}
-		from += len(levels)
-		if len(levels) > 0 {
+		from += len(entries)
+		if len(entries) > 0 {
 			flusher.Flush()
 		}
 		if terminal != "" {
