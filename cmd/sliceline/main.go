@@ -8,6 +8,7 @@
 //	sliceline -dataset adult -k 5 -alpha 0.95 -maxlevel 3
 //	sliceline -csv data.csv -label y -task reg -k 4
 //	sliceline -dataset uscensus -workers localhost:7071,localhost:7072
+//	sliceline -dataset uscensus -budget 2s -progress   # anytime, prints gap
 //
 // Long enumerations can checkpoint after every lattice level and resume
 // after a crash with byte-identical results:
@@ -56,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers  = fs.String("workers", "", "comma-separated worker addresses for distributed evaluation")
 		jsonOut  = fs.Bool("json", false, "emit the result as JSON")
 		progress = fs.Bool("progress", false, "print per-level progress to stderr")
+		budget   = fs.Duration("budget", 0, "anytime mode: stop enumerating after this wall-clock budget and report the certified optimality gap (0 = run to completion)")
 
 		checkpoint  = fs.String("checkpoint", "", "persist enumeration state to this file after every level")
 		resume      = fs.Bool("resume", false, "resume from -checkpoint (missing file starts fresh)")
@@ -85,14 +87,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if *budget < 0 {
+		fmt.Fprintln(stderr, "sliceline: -budget must be non-negative")
+		return 2
+	}
 	cfg := core.Config{
 		K: *k, Alpha: *alpha, Sigma: *sigma, MaxLevel: *maxLevel,
 		CheckpointPath: *checkpoint, Resume: *resume,
+		Budget: *budget,
 	}
 	if *progress {
 		cfg.OnLevel = func(ls core.LevelStats) {
 			fmt.Fprintf(stderr, "level %d: %d candidates, %d valid, %d pruned (%v)\n",
 				ls.Level, ls.Candidates, ls.Valid, ls.Pruned, ls.Elapsed.Round(1e6))
+		}
+		if *budget > 0 {
+			cfg.OnSnapshot = func(s core.Snapshot) {
+				best := "-"
+				if len(s.TopK) > 0 {
+					best = fmt.Sprintf("%.4f", s.TopK[0].Score)
+				}
+				fmt.Fprintf(stderr, "snapshot after level %d: best score %s, gap %.4f (%v elapsed)\n",
+					s.Level, best, s.Gap, s.Elapsed.Round(1e6))
+			}
 		}
 	}
 	var tracer *obs.JSONTracer
@@ -157,8 +174,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "dataset %s: n=%d m=%d l=%d avg error %.4f sigma=%d alpha=%.2f\n",
 		ds.Name, ds.NumRows(), ds.NumFeatures(), ds.OneHotWidth(), res.AvgError, res.Sigma, res.Alpha)
-	fmt.Fprintf(stdout, "enumerated %d candidates over %d levels in %v\n\n",
+	fmt.Fprintf(stdout, "enumerated %d candidates over %d levels in %v\n",
 		res.TotalCandidates(), len(res.Levels), res.Elapsed.Round(1e6))
+	if res.Gap > 0 {
+		fmt.Fprintf(stdout, "partial enumeration (budget or level cap); certified optimality gap %.4f\n", res.Gap)
+	}
+	fmt.Fprintln(stdout)
 	if len(res.TopK) == 0 {
 		fmt.Fprintln(stdout, "no slices with positive score satisfy the support constraint")
 		return 0

@@ -83,7 +83,11 @@ func TestGracefulDrainOnSIGTERM(t *testing.T) {
 	go io.Copy(io.Discard, stdout) //nolint:errcheck // drain remaining output
 
 	base := "http://" + addr
-	resp, err := http.Post(base+"/v1/datasets?err=err", "text/csv", strings.NewReader(testCSV(2000)))
+	reg, err := json.Marshal(map[string]string{"err": "err", "csv": testCSV(2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/datasets", "application/json", bytes.NewReader(reg))
 	if err != nil {
 		t.Fatalf("registering dataset: %v", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sliceline/internal/frame"
+	"sliceline/internal/stats"
 )
 
 // Config holds the SliceFinder parameters.
@@ -152,9 +153,9 @@ func Run(ds *frame.Dataset, e []float64, cfg Config) (*Result, error) {
 			if v2 < 0 {
 				v2 = 0
 			}
-			eff := effectSize(m1, v1, m2, v2)
-			t, df := welch(m1, v1, n1, m2, v2, n2)
-			p := tCDFUpper(t, df)
+			eff := stats.EffectSize(m1, v1, m2, v2)
+			t, df := stats.Welch(m1, v1, float64(n1), m2, v2, float64(n2))
+			p := stats.TCDFUpper(t, df)
 			if eff >= cfg.EffectSize && p <= cfg.PValue {
 				found = append(found, Slice{
 					Predicates: s.preds,

@@ -21,6 +21,10 @@ const (
 	minSupportFloor  = 32
 )
 
+// DefaultSignificance is the FDR level used to set Slice.Significant when
+// Config.Significance is zero — 0.05, the SliceFinder paper's default.
+const DefaultSignificance = 0.05
+
 // Config holds the SliceLine parameters and the ablation switches used by
 // the pruning study (Figure 3).
 type Config struct {
@@ -53,6 +57,26 @@ type Config struct {
 	// paper's unpruned configs "ran out-of-memory after 4 levels". <= 0
 	// defaults to 2 million.
 	MaxCandidatesPerLevel int
+
+	// Budget, when positive, bounds the enumeration wall clock: the run
+	// stops before starting any lattice level once Budget has elapsed
+	// (anytime mode). Levels are never interrupted mid-evaluation, so a
+	// budget-stopped run is bit-identical — including Result.Gap — to a
+	// batch run with MaxLevel set to its last completed level. Combine with
+	// OnSnapshot to stream monotonically-improving top-K prefixes.
+	Budget time.Duration
+
+	// Significance is the false-discovery-rate level used to set
+	// Slice.Significant from the Benjamini–Hochberg q-values annotated on
+	// every result slice. Zero selects DefaultSignificance (0.05); values
+	// must otherwise lie in (0, 1).
+	Significance float64
+
+	// OnSnapshot, when non-nil, is invoked after every completed lattice
+	// level with the current decoded top-K and the certified optimality gap
+	// at that point. It runs synchronously on the enumeration goroutine.
+	// On a resumed run it fires only for newly enumerated levels.
+	OnSnapshot func(Snapshot)
 
 	// PriorityEnumeration evaluates each level's candidates in descending
 	// order of their score upper bound, in chunks, re-pruning the remaining
@@ -160,7 +184,10 @@ func (p Predicate) String() string {
 	return fmt.Sprintf("%s=%d", p.Name, p.Value)
 }
 
-// Slice is one result slice with its statistics (the paper's TS/TR rows).
+// Slice is one result slice with its statistics (the paper's TS/TR rows)
+// plus the statistical guardrail annotations of the SliceFinder comparison:
+// a one-sided Welch's t-test of the slice's error against the rest of the
+// data, with Benjamini–Hochberg correction over the result's top-K family.
 type Slice struct {
 	Predicates []Predicate
 	Score      float64
@@ -168,6 +195,24 @@ type Slice struct {
 	TotalError float64 // se
 	MaxError   float64 // sm
 	AvgError   float64 // se / |S|
+
+	// PValue is the one-sided Welch's t-test p-value for "this slice's mean
+	// error exceeds the rest of the data's", computed from the run's
+	// accumulators (weighted mean/variance/count summaries) — no second
+	// enumeration pass.
+	PValue float64
+	// QValue is the Benjamini–Hochberg FDR q-value of PValue over the
+	// result's top-K family (per diff direction in RunDiff results).
+	QValue float64
+	// Significant reports QValue <= the run's significance level
+	// (Config.Significance, default 0.05). Tiny-but-extreme slices that a
+	// high score surfaces but the data cannot statistically support show up
+	// with Significant == false.
+	Significant bool
+	// DiffSign is 0 for ordinary runs; in RunDiff results it is +1 for
+	// slices found on the regression direction (new model worse) and -1 for
+	// the improvement direction (new model better).
+	DiffSign int
 }
 
 func (s Slice) String() string {
@@ -179,6 +224,18 @@ func (s Slice) String() string {
 		out += p.String()
 	}
 	return fmt.Sprintf("[%s] score=%.4f size=%d avgErr=%.4f", out, s.Score, s.Size, s.AvgError)
+}
+
+// Snapshot is one anytime-mode progress point, delivered via
+// Config.OnSnapshot after each completed lattice level: the current decoded
+// and annotated top-K together with the optimality gap certified at that
+// point. Across the snapshots of one run the top-K only improves and Gap is
+// monotonically non-increasing.
+type Snapshot struct {
+	Level   int     // last completed lattice level
+	TopK    []Slice // current best K, decoded and annotated
+	Gap     float64 // certified optimality gap at this point
+	Elapsed time.Duration
 }
 
 // LevelStats records the enumeration characteristics of one lattice level,
@@ -201,6 +258,15 @@ type Result struct {
 	Alpha     float64
 	Elapsed   time.Duration
 	Truncated bool // true if MaxCandidatesPerLevel aborted enumeration
+
+	// Gap is the certified optimality gap: no slice outside the explored
+	// part of the lattice can score more than the K-th best score plus Gap.
+	// It is derived from the same Equation-3 score upper bounds that drive
+	// pruning, evaluated over the surviving frontier of the last completed
+	// level. Zero means the top-K is exact (the usual case for a run that
+	// exhausted the lattice); a budget- or MaxLevel-bounded run reports the
+	// bound it can still certify ("top-K within ε").
+	Gap float64
 }
 
 // TotalCandidates sums evaluated candidates over all levels.

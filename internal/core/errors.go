@@ -33,6 +33,12 @@ var (
 	ErrWeightedEvaluator = errors.New("external evaluators do not support row weights")
 	// ErrBadBitsetMode marks a Config.BitsetEval outside auto/on/off.
 	ErrBadBitsetMode = errors.New("invalid BitsetEval mode")
+	// ErrBadBudget marks a negative Config.Budget. (Zero disables the
+	// budget; any positive duration is a valid anytime bound.)
+	ErrBadBudget = errors.New("invalid Budget")
+	// ErrBadSignificance marks a Config.Significance that is NaN, infinite,
+	// negative, or >= 1. (Zero selects DefaultSignificance.)
+	ErrBadSignificance = errors.New("invalid Significance level")
 )
 
 // Validate checks the statically checkable configuration fields, returning an
@@ -49,6 +55,12 @@ func (c Config) Validate() error {
 	case BitsetAuto, BitsetOn, BitsetOff:
 	default:
 		return fmt.Errorf("core: BitsetEval = %d: %w", int(c.BitsetEval), ErrBadBitsetMode)
+	}
+	if c.Budget < 0 {
+		return fmt.Errorf("core: Budget = %v: %w", c.Budget, ErrBadBudget)
+	}
+	if math.IsNaN(c.Significance) || math.IsInf(c.Significance, 0) || c.Significance < 0 || c.Significance >= 1 {
+		return fmt.Errorf("core: Significance = %v: %w", c.Significance, ErrBadSignificance)
 	}
 	return nil
 }

@@ -7,9 +7,12 @@ import (
 )
 
 // ResultSchemaVersion identifies the JSON layout written by Result.
-// MarshalJSON. UnmarshalJSON refuses documents written with a different
-// version instead of silently misreading them.
-const ResultSchemaVersion = 1
+// MarshalJSON. Version 2 added the result-level optimality gap (`gap`) and
+// the per-slice statistical annotations (`p_value`, `q_value`,
+// `significant`, `diff_sign`); version-1 documents are a strict subset and
+// UnmarshalJSON still accepts them (the new fields read as zero). Other
+// versions are refused instead of silently misread.
+const ResultSchemaVersion = 2
 
 // The json* shadow structs pin the interchange layout: explicit snake_case
 // field names and integer-nanosecond durations, independent of how the Go
@@ -24,12 +27,16 @@ type jsonPredicate struct {
 }
 
 type jsonSlice struct {
-	Predicates []jsonPredicate `json:"predicates"`
-	Score      float64         `json:"score"`
-	Size       int             `json:"size"`
-	TotalError float64         `json:"total_error"`
-	MaxError   float64         `json:"max_error"`
-	AvgError   float64         `json:"avg_error"`
+	Predicates  []jsonPredicate `json:"predicates"`
+	Score       float64         `json:"score"`
+	Size        int             `json:"size"`
+	TotalError  float64         `json:"total_error"`
+	MaxError    float64         `json:"max_error"`
+	AvgError    float64         `json:"avg_error"`
+	PValue      float64         `json:"p_value"`
+	QValue      float64         `json:"q_value"`
+	Significant bool            `json:"significant,omitempty"`
+	DiffSign    int             `json:"diff_sign,omitempty"`
 }
 
 type jsonLevelStats struct {
@@ -50,6 +57,7 @@ type jsonResult struct {
 	Alpha         float64          `json:"alpha"`
 	ElapsedNS     int64            `json:"elapsed_ns"`
 	Truncated     bool             `json:"truncated,omitempty"`
+	Gap           float64          `json:"gap,omitempty"`
 }
 
 // MarshalJSON implements the stable interchange form of a predicate.
@@ -70,12 +78,16 @@ func (p *Predicate) UnmarshalJSON(data []byte) error {
 // MarshalJSON implements the stable interchange form of a slice.
 func (s Slice) MarshalJSON() ([]byte, error) {
 	js := jsonSlice{
-		Predicates: make([]jsonPredicate, len(s.Predicates)),
-		Score:      s.Score,
-		Size:       s.Size,
-		TotalError: s.TotalError,
-		MaxError:   s.MaxError,
-		AvgError:   s.AvgError,
+		Predicates:  make([]jsonPredicate, len(s.Predicates)),
+		Score:       s.Score,
+		Size:        s.Size,
+		TotalError:  s.TotalError,
+		MaxError:    s.MaxError,
+		AvgError:    s.AvgError,
+		PValue:      s.PValue,
+		QValue:      s.QValue,
+		Significant: s.Significant,
+		DiffSign:    s.DiffSign,
 	}
 	for i, p := range s.Predicates {
 		js.Predicates[i] = jsonPredicate(p)
@@ -90,11 +102,15 @@ func (s *Slice) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*s = Slice{
-		Score:      js.Score,
-		Size:       js.Size,
-		TotalError: js.TotalError,
-		MaxError:   js.MaxError,
-		AvgError:   js.AvgError,
+		Score:       js.Score,
+		Size:        js.Size,
+		TotalError:  js.TotalError,
+		MaxError:    js.MaxError,
+		AvgError:    js.AvgError,
+		PValue:      js.PValue,
+		QValue:      js.QValue,
+		Significant: js.Significant,
+		DiffSign:    js.DiffSign,
 	}
 	if len(js.Predicates) > 0 {
 		s.Predicates = make([]Predicate, len(js.Predicates))
@@ -144,6 +160,7 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		Alpha:         r.Alpha,
 		ElapsedNS:     r.Elapsed.Nanoseconds(),
 		Truncated:     r.Truncated,
+		Gap:           r.Gap,
 	}
 	for _, s := range r.TopK {
 		preds := make([]jsonPredicate, len(s.Predicates))
@@ -153,6 +170,7 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		jr.TopK = append(jr.TopK, jsonSlice{
 			Predicates: preds, Score: s.Score, Size: s.Size,
 			TotalError: s.TotalError, MaxError: s.MaxError, AvgError: s.AvgError,
+			PValue: s.PValue, QValue: s.QValue, Significant: s.Significant, DiffSign: s.DiffSign,
 		})
 	}
 	for _, l := range r.Levels {
@@ -171,7 +189,9 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &jr); err != nil {
 		return err
 	}
-	if jr.SchemaVersion != ResultSchemaVersion {
+	// Version 1 is a strict subset of version 2 (no gap, no per-slice
+	// statistics): old payloads decode with those fields zero.
+	if jr.SchemaVersion != ResultSchemaVersion && jr.SchemaVersion != 1 {
 		return fmt.Errorf("core: result JSON has schema_version %d, this build reads %d", jr.SchemaVersion, ResultSchemaVersion)
 	}
 	out := Result{
@@ -181,11 +201,13 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		Alpha:     jr.Alpha,
 		Elapsed:   time.Duration(jr.ElapsedNS),
 		Truncated: jr.Truncated,
+		Gap:       jr.Gap,
 	}
 	for _, js := range jr.TopK {
 		s := Slice{
 			Score: js.Score, Size: js.Size,
 			TotalError: js.TotalError, MaxError: js.MaxError, AvgError: js.AvgError,
+			PValue: js.PValue, QValue: js.QValue, Significant: js.Significant, DiffSign: js.DiffSign,
 		}
 		for _, p := range js.Predicates {
 			s.Predicates = append(s.Predicates, Predicate(p))

@@ -39,6 +39,8 @@ type state struct {
 	memo     *sliceMemo // incremental statistics memo (nil on batch runs)
 	origCols []int      // original one-hot column per reduced column (= cI)
 	ob       coreObs    // pre-resolved metric handles (all nil when metrics are off)
+	sigLevel float64    // resolved FDR level for Slice.Significant
+	totSq    float64    // Σ w_i·e_i², the global total behind welchP
 }
 
 // Run executes SliceLine (Algorithm 1) on an integer-encoded dataset and a
@@ -163,6 +165,17 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 	start := time.Now()
 
 	st := &state{cfg: cfg, sc: sc, e: e, w: w, m: enc.NumFeatures(), memo: memo, ob: newCoreObs(cfg.Metrics)}
+	st.sigLevel = cfg.Significance
+	if st.sigLevel == 0 {
+		st.sigLevel = DefaultSignificance
+	}
+	for i, v := range e {
+		if w != nil {
+			st.totSq += w[i] * v * v
+		} else {
+			st.totSq += v * v
+		}
+	}
 	st.ob.runs.Inc()
 	// When the caller's context already carries a span (e.g. the server's
 	// per-job span), the run parents under it so one job yields one span
@@ -307,6 +320,7 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 		if st.cfg.OnLevel != nil {
 			st.cfg.OnLevel(ls)
 		}
+		st.emitSnapshot(tk, cur, 1, feats, start)
 		resumedLevel = 1
 	}
 
@@ -315,7 +329,15 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 	if cfg.MaxLevel > 0 && cfg.MaxLevel < maxL {
 		maxL = cfg.MaxLevel
 	}
+	completed := resumedLevel
 	for lvl := resumedLevel + 1; lvl <= maxL && cur.size() > 0; lvl++ {
+		// Anytime boundary: the budget is only consulted between levels, so
+		// a budget stop leaves exactly the state of a batch run with
+		// MaxLevel = completed — the anytime ≡ batch identity.
+		if st.budgetExceeded(start) {
+			runSpan.Event("anytime: budget exhausted, stopping enumeration")
+			break
+		}
 		// Cancellation boundary: a checkpoint for the previous level is on
 		// disk, so a run aborted here resumes without losing completed work.
 		if err := ctx.Err(); err != nil {
@@ -344,6 +366,10 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 			st.recordLevel(res, LevelStats{
 				Level: lvl, Pruned: pruned, Elapsed: time.Since(start),
 			})
+			// Every child was pruned: the frontier is empty and the top-K is
+			// certified exact (gap 0).
+			cur, completed = cand, lvl
+			st.emitSnapshot(tk, cur, lvl, feats, start)
 			break
 		}
 		if cand.size() > cfg.MaxCandidatesPerLevel {
@@ -398,15 +424,19 @@ func runEncoded(ctx context.Context, enc *frame.Encoding, feats []frame.Feature,
 		if st.cfg.OnLevel != nil {
 			st.cfg.OnLevel(ls)
 		}
-		cur = cand
+		cur, completed = cand, lvl
+		st.emitSnapshot(tk, cur, lvl, feats, start)
 	}
 
 	res.TopK = st.decode(tk, feats)
+	st.annotate(res.TopK, tk.entries)
+	res.Gap = st.gapBound(cur, completed, tk.threshold())
 	res.Elapsed = time.Since(start)
 	runSpan.SetInt("levels", int64(len(res.Levels)))
 	runSpan.SetInt("total_candidates", int64(res.TotalCandidates()))
 	runSpan.SetInt("topk", int64(len(res.TopK)))
 	runSpan.SetBool("truncated", res.Truncated)
+	runSpan.SetFloat("gap", res.Gap)
 	return res, nil
 }
 

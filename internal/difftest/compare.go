@@ -101,6 +101,31 @@ func CompareExact(a, b *core.Result) error {
 	return nil
 }
 
+// CompareAnnotated is CompareExact extended to the schema-v2 surface: the
+// certified optimality gap and the per-slice statistical annotations and
+// diff signs must also be bit-identical. Use it when the two runs share the
+// full configuration (same depth cap, budget-equivalent), so every derived
+// quantity is deterministic.
+func CompareAnnotated(a, b *core.Result) error {
+	if err := CompareExact(a, b); err != nil {
+		return err
+	}
+	if a.Gap != b.Gap {
+		return fmt.Errorf("gap %v vs %v", a.Gap, b.Gap)
+	}
+	for i := range a.TopK {
+		x, y := a.TopK[i], b.TopK[i]
+		if x.PValue != y.PValue || x.QValue != y.QValue || x.Significant != y.Significant {
+			return fmt.Errorf("rank %d annotations differ: p=%v/%v q=%v/%v sig=%v/%v",
+				i, x.PValue, y.PValue, x.QValue, y.QValue, x.Significant, y.Significant)
+		}
+		if x.DiffSign != y.DiffSign {
+			return fmt.Errorf("rank %d diff sign %d vs %d", i, x.DiffSign, y.DiffSign)
+		}
+	}
+	return nil
+}
+
 // CompareToBruteForce asserts that a result's top-K scores match exhaustive
 // lattice enumeration. Predicate sets are compared per rank except inside
 // score ties, where brute force and the enumerator may legally order tied

@@ -109,8 +109,12 @@ func GenerateFromResult(w io.Writer, name string, res *core.Result, opt Options)
 	}
 	fmt.Fprintf(w, "# Model debugging report: %s\n\n", name)
 	fmt.Fprintf(w, "## Stored result\n\n")
-	fmt.Fprintf(w, "- rows: %d\n- overall average error: %.4f\n- enumeration time: %v\n\n",
+	fmt.Fprintf(w, "- rows: %d\n- overall average error: %.4f\n- enumeration time: %v\n",
 		res.N, res.AvgError, res.Elapsed.Round(1e6))
+	if res.Gap > 0 {
+		fmt.Fprintf(w, "- partial enumeration: certified optimality gap %.4f (no unexplored slice can beat the reported top-K by more)\n", res.Gap)
+	}
+	fmt.Fprintln(w)
 	writeSlices(w, nil, res, opt)
 	writeEnumeration(w, res)
 	return nil
@@ -128,6 +132,12 @@ func writeSlices(w io.Writer, ds *frame.Dataset, res *core.Result, opt Options) 
 	for i, s := range res.TopK {
 		fmt.Fprintf(w, "### #%d score %.4f\n\n", i+1, s.Score)
 		fmt.Fprintf(w, "- predicates: %s\n", predString(s))
+		switch s.DiffSign {
+		case 1:
+			fmt.Fprintf(w, "- direction: regression (new model worse on this slice)\n")
+		case -1:
+			fmt.Fprintf(w, "- direction: improvement (new model better on this slice)\n")
+		}
 		fmt.Fprintf(w, "- size: %d rows (%.1f%% of data)\n", s.Size, 100*float64(s.Size)/float64(res.N))
 		lift := 0.0
 		if res.AvgError > 0 {
@@ -135,6 +145,15 @@ func writeSlices(w io.Writer, ds *frame.Dataset, res *core.Result, opt Options) 
 		}
 		fmt.Fprintf(w, "- average error: %.4f (%.1fx the overall %.4f)\n", s.AvgError, lift, res.AvgError)
 		fmt.Fprintf(w, "- maximum tuple error: %.4f\n", s.MaxError)
+		// Schema v1 documents carry no statistics; both fields decode as
+		// zero there, and a real run never produces p = q = 0 exactly.
+		if s.PValue != 0 || s.QValue != 0 {
+			marker := "not significant"
+			if s.Significant {
+				marker = "significant"
+			}
+			fmt.Fprintf(w, "- statistics: p=%.4g, q=%.4g (%s, one-sided Welch vs rest, BH-adjusted)\n", s.PValue, s.QValue, marker)
+		}
 		if ds != nil {
 			rows, err := core.SliceRows(ds, s)
 			if err == nil {

@@ -3,13 +3,19 @@ package report
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"sliceline/internal/core"
 	"sliceline/internal/frame"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func plantedDataset(rng *rand.Rand, n int) (*frame.Dataset, []float64) {
 	ds := &frame.Dataset{
@@ -129,6 +135,55 @@ func TestGenerateFromResultJSONRoundTrip(t *testing.T) {
 		if strings.Contains(out, reject) {
 			t.Errorf("result-only report should not contain %q\n---\n%s", reject, out)
 		}
+	}
+}
+
+// TestGenerateFromResultGolden pins the rendered Markdown for a result
+// carrying every schema-v2 annotation: the optimality gap of a partial run,
+// per-slice p/q values with a significance marker, and diff directions.
+// Regenerate with `go test ./internal/report -run Golden -update`.
+func TestGenerateFromResultGolden(t *testing.T) {
+	res := &core.Result{
+		TopK: []core.Slice{
+			{
+				Predicates: []core.Predicate{
+					{Feature: 0, Name: "region", Value: 2, Label: "south"},
+					{Feature: 1, Name: "plan", Value: 1, Label: "basic"},
+				},
+				Score: 1.8125, Size: 240, TotalError: 230, MaxError: 1, AvgError: 0.9583,
+				PValue: 0.00125, QValue: 0.0025, Significant: true, DiffSign: 1,
+			},
+			{
+				Predicates: []core.Predicate{
+					{Feature: 2, Name: "tier", Value: 2},
+				},
+				Score: 0.4375, Size: 980, TotalError: 310, MaxError: 1, AvgError: 0.3163,
+				PValue: 0.21, QValue: 0.21, DiffSign: -1,
+			},
+		},
+		Levels: []core.LevelStats{
+			{Level: 1, Candidates: 7, Valid: 7, Pruned: 0, Elapsed: 2 * time.Millisecond},
+			{Level: 2, Candidates: 18, Valid: 11, Pruned: 7, Elapsed: 5 * time.Millisecond},
+		},
+		N: 2000, AvgError: 0.138, Sigma: 20, Alpha: 0.95,
+		Elapsed: 9 * time.Millisecond, Gap: 0.0625,
+	}
+	var buf bytes.Buffer
+	if err := GenerateFromResult(&buf, "golden", res, Options{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "stored_result.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("report differs from %s (re-run with -update after intentional changes)\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
 	}
 }
 

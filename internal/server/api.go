@@ -46,6 +46,10 @@ type JobConfig struct {
 	// Like block_size it changes the execution plan, never results, so it
 	// does not participate in the result-cache key.
 	Bitset string `json:"bitset,omitempty"`
+	// Significance is the Benjamini-Hochberg FDR level behind each result
+	// slice's "significant" marker; 0 selects the library default (0.05).
+	// Must be in [0, 1).
+	Significance float64 `json:"significance,omitempty"`
 }
 
 // ToCore converts the wire config into a core.Config (hooks unset). An
@@ -67,6 +71,7 @@ func (jc JobConfig) ToCore() core.Config {
 		PriorityEnumeration:   jc.PriorityEnumeration,
 		DenseEval:             jc.DenseEval,
 		BitsetEval:            mode,
+		Significance:          jc.Significance,
 	}
 }
 
@@ -78,12 +83,28 @@ const (
 	// every dataset append and re-emits it over the job's SSE stream as a
 	// "result" event, until cancelled.
 	ModeMonitor = "monitor"
+	// ModeAnytime is a budget-bounded one-shot run: enumeration stops once
+	// budget_ms has elapsed (at a lattice-level boundary) and the result
+	// carries the certified optimality gap. Progress streams over the job's
+	// SSE channel as "snapshot" events after every completed level.
+	ModeAnytime = "anytime"
+	// ModeWindowed restricts the run to recent rows via the window spec —
+	// the explicit spelling of the legacy "window without mode" form, which
+	// remains accepted for spec_version 1 clients.
+	ModeWindowed = "windowed"
+	// ModeDiff compares two error vectors over the same rows: the job's
+	// dataset supplies the new model's errors and baseline references a
+	// second registered dataset (same rows, same features) supplying the
+	// baseline errors. The result interleaves regression (diff_sign +1) and
+	// improvement (-1) slices. Diff jobs evaluate locally.
+	ModeDiff = "diff"
 )
 
 // SpecVersion is the current job-spec wire version. Version 0 (the field
-// absent) is the pre-streaming spec; version 1 adds mode and window. Journaled
-// version-0 specs decode and replay unchanged.
-const SpecVersion = 1
+// absent) is the pre-streaming spec; version 1 adds mode and window;
+// version 2 adds the anytime/windowed/diff modes with budget_ms and
+// baseline. Journaled version-0/1 specs decode and replay unchanged.
+const SpecVersion = 2
 
 // WindowSpec restricts a job to recent rows: the slice statistics are
 // computed as a weighted run with rows outside the window down-weighted to
@@ -114,10 +135,20 @@ type JobSpec struct {
 	// exceeded deadline fails the job. 0 inherits the server default.
 	// Ignored for monitor jobs, which are resident until cancelled.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Mode selects the job's lifecycle: "" (one-shot batch) or "monitor".
+	// Mode selects the job's workload: "" (one-shot batch), "anytime",
+	// "monitor", "windowed", or "diff".
 	Mode string `json:"mode,omitempty"`
 	// Window, when set, restricts the run to recent rows (windowed slices).
+	// Required for mode "windowed"; also accepted with mode "" for
+	// spec_version 1 compatibility.
 	Window *WindowSpec `json:"window,omitempty"`
+	// BudgetMS is the anytime enumeration budget in milliseconds; required
+	// (> 0) for mode "anytime", rejected elsewhere.
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// Baseline references the registered dataset holding the baseline
+	// model's error vector for mode "diff"; required there, rejected
+	// elsewhere. It must have the same row count as the job's dataset.
+	Baseline string `json:"baseline,omitempty"`
 }
 
 // ErrBadJobSpec wraps every job-spec validation failure, matchable with
@@ -173,8 +204,47 @@ func (s JobSpec) validate() error {
 		if s.Config.DenseEval || s.Config.PriorityEnumeration {
 			return fmt.Errorf("%w: monitor jobs cannot use dense or priority evaluation", ErrBadJobSpec)
 		}
+	case ModeAnytime:
+		if s.SpecVersion < 2 {
+			return fmt.Errorf("%w: mode %q requires spec_version 2", ErrBadJobSpec, s.Mode)
+		}
+		if s.BudgetMS <= 0 {
+			return fmt.Errorf("%w: mode %q requires budget_ms > 0", ErrBadJobSpec, s.Mode)
+		}
+		if s.Window != nil {
+			return fmt.Errorf("%w: anytime jobs run over the full dataset; window is not supported", ErrBadJobSpec)
+		}
+	case ModeWindowed:
+		if s.SpecVersion < 2 {
+			return fmt.Errorf("%w: mode %q requires spec_version 2", ErrBadJobSpec, s.Mode)
+		}
+		if s.Window == nil {
+			return fmt.Errorf("%w: mode %q requires a window", ErrBadJobSpec, s.Mode)
+		}
+	case ModeDiff:
+		if s.SpecVersion < 2 {
+			return fmt.Errorf("%w: mode %q requires spec_version 2", ErrBadJobSpec, s.Mode)
+		}
+		if s.Baseline == "" {
+			return fmt.Errorf("%w: mode %q requires a baseline dataset reference", ErrBadJobSpec, s.Mode)
+		}
+		if s.Evaluator == EvalDist {
+			return fmt.Errorf("%w: diff jobs evaluate locally (weighted lowering), not %q", ErrBadJobSpec, EvalDist)
+		}
+		if s.Window != nil {
+			return fmt.Errorf("%w: diff jobs run over the full dataset; window is not supported", ErrBadJobSpec)
+		}
 	default:
-		return fmt.Errorf("%w: unknown mode %q (want \"\" or %q)", ErrBadJobSpec, s.Mode, ModeMonitor)
+		return fmt.Errorf("%w: unknown mode %q (want \"\", %q, %q, %q or %q)", ErrBadJobSpec, s.Mode, ModeAnytime, ModeMonitor, ModeWindowed, ModeDiff)
+	}
+	if s.BudgetMS < 0 {
+		return fmt.Errorf("%w: negative budget_ms %d", ErrBadJobSpec, s.BudgetMS)
+	}
+	if s.BudgetMS > 0 && s.Mode != ModeAnytime {
+		return fmt.Errorf("%w: budget_ms is only valid with mode %q", ErrBadJobSpec, ModeAnytime)
+	}
+	if s.Baseline != "" && s.Mode != ModeDiff {
+		return fmt.Errorf("%w: baseline is only valid with mode %q", ErrBadJobSpec, ModeDiff)
 	}
 	if w := s.Window; w != nil {
 		if s.SpecVersion < 1 {

@@ -10,15 +10,22 @@ import (
 // result-affecting configuration signature, and the lattice depth cap.
 // MaxLevel is outside core.ConfigSignature (checkpoint resume legitimately
 // extends it) but two runs with different depth caps return different
-// Results, so the cache keys on it explicitly. Execution-plan fields
+// Results, so the cache keys on it explicitly; likewise the job mode, the
+// baseline dataset signature (diff jobs) and the resolved significance level
+// (it flips per-slice Significant markers) are outside the core signature
+// but result-affecting, so they key explicitly too. Execution-plan fields
 // (BlockSize, evaluator, DenseEval, PriorityEnumeration-chunking) are
 // equivalent by design: a cached local result satisfies an identical
 // distributed submission, with the documented cross-plan last-ULP caveat on
-// summed statistics.
+// summed statistics. Anytime results never enter the cache at all — they
+// depend on wall-clock budgets.
 type cacheKey struct {
 	dataSig  uint64
 	cfgSig   uint64
 	maxLevel int
+	mode     string
+	baseSig  uint64  // baseline dataset signature; 0 outside diff mode
+	sigLevel float64 // resolved FDR level behind Slice.Significant
 }
 
 // cacheEntry pairs the decoded result with its rendered JSON so repeated

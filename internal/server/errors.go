@@ -12,14 +12,15 @@ import "net/http"
 
 // Error codes used across the /v1 handlers.
 const (
-	codeBadRequest    = "bad_request"    // malformed body, params, or CSV
-	codeBadJobSpec    = "bad_job_spec"   // job spec failed validation
-	codeNotFound      = "not_found"      // unknown dataset or job id
-	codeNotAppendable = "not_appendable" // dataset was not registered in err-column mode
-	codeQueueFull     = "queue_full"     // admission control rejected the job
-	codeDraining      = "draining"       // server is shutting down
-	codeMonitorLimit  = "monitor_limit"  // resident monitor cap reached
-	codeInternal      = "internal"       // unexpected server-side failure
+	codeBadRequest     = "bad_request"     // malformed body, params, or CSV
+	codeBadJobSpec     = "bad_job_spec"    // job spec failed validation
+	codeNotFound       = "not_found"       // unknown dataset or job id
+	codeNotAppendable  = "not_appendable"  // dataset was not registered in err-column mode
+	codeQueueFull      = "queue_full"      // admission control rejected the job
+	codeDraining       = "draining"        // server is shutting down
+	codeMonitorLimit   = "monitor_limit"   // resident monitor cap reached
+	codeDeprecatedForm = "deprecated_form" // removed legacy query-param registration
+	codeInternal       = "internal"        // unexpected server-side failure
 )
 
 // apiErrorBody is the inner object of the error envelope.

@@ -8,12 +8,14 @@ import (
 )
 
 // logEvent is one entry of a job's event history. Exactly one payload is set,
-// selected by kind: "level" (a completed lattice level) or "result" (a
-// monitor's refreshed top-K for one dataset generation).
+// selected by kind: "level" (a completed lattice level), "result" (a
+// monitor's refreshed top-K for one dataset generation), or "snapshot" (an
+// anytime job's improving top-K with its certified optimality gap).
 type logEvent struct {
-	kind   string
-	level  core.LevelStats
-	result resultEvent
+	kind     string
+	level    core.LevelStats
+	result   resultEvent
+	snapshot snapshotEvent
 }
 
 // resultEvent is the SSE payload of a monitor's "result" event: the full
@@ -22,6 +24,17 @@ type resultEvent struct {
 	Generation int             `json:"generation"`
 	Rows       int             `json:"rows"`
 	Result     json.RawMessage `json:"result"`
+}
+
+// snapshotEvent is the SSE payload of an anytime job's "snapshot" event: the
+// decoded, annotated top-K after one completed lattice level plus the
+// optimality gap certified at that point. Across one job's snapshots the
+// top-K only improves and gap never increases.
+type snapshotEvent struct {
+	Level     int             `json:"level"`
+	Gap       float64         `json:"gap"`
+	ElapsedMS int64           `json:"elapsed_ms"`
+	TopK      json.RawMessage `json:"top_k"`
 }
 
 // eventLog accumulates a job's progress events and terminal state, and lets
@@ -55,6 +68,15 @@ func (l *eventLog) addLevel(ls core.LevelStats) {
 func (l *eventLog) addResult(ev resultEvent) {
 	l.mu.Lock()
 	l.entries = append(l.entries, logEvent{kind: "result", result: ev})
+	l.wake()
+	l.mu.Unlock()
+}
+
+// addSnapshot appends one anytime progress snapshot and wakes subscribers.
+// It is wired into the run through core.Config.OnSnapshot.
+func (l *eventLog) addSnapshot(ev snapshotEvent) {
+	l.mu.Lock()
+	l.entries = append(l.entries, logEvent{kind: "snapshot", snapshot: ev})
 	l.wake()
 	l.mu.Unlock()
 }

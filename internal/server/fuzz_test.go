@@ -24,6 +24,18 @@ func FuzzDecodeJobSpec(f *testing.F) {
 	f.Add(`{"dataset":"d","unknown_field":1}`)
 	f.Add(`{"dataset":"d"} {"second":"doc"}`)
 	f.Add(`{"dataset":"d","config":{"alpha":1e999}}`)
+	f.Add(`{"spec_version":1,"dataset":"d","mode":"monitor"}`)
+	f.Add(`{"spec_version":1,"dataset":"d","window":{"last_rows":100}}`)
+	f.Add(`{"spec_version":2,"dataset":"d","mode":"anytime","budget_ms":500}`)
+	f.Add(`{"spec_version":2,"dataset":"d","mode":"anytime"}`)
+	f.Add(`{"spec_version":2,"dataset":"d","mode":"windowed","window":{"last_ms":60000}}`)
+	f.Add(`{"spec_version":2,"dataset":"d","mode":"diff","baseline":"ds_base"}`)
+	f.Add(`{"spec_version":2,"dataset":"d","mode":"diff"}`)
+	f.Add(`{"spec_version":2,"dataset":"d","mode":"diff","baseline":"b","evaluator":"dist"}`)
+	f.Add(`{"spec_version":2,"dataset":"d","baseline":"b"}`)
+	f.Add(`{"spec_version":2,"dataset":"d","budget_ms":-5}`)
+	f.Add(`{"spec_version":2,"dataset":"d","config":{"significance":0.01},"mode":"anytime","budget_ms":100}`)
+	f.Add(`{"spec_version":2,"dataset":"d","config":{"significance":1.5}}`)
 	f.Add(`[]`)
 	f.Add(``)
 	f.Add(`{`)
@@ -48,8 +60,14 @@ func FuzzDecodeJobSpec(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decoder rejects its own accepted spec %s: %v", enc, err)
 		}
-		if again != spec {
-			t.Fatalf("round trip changed the spec:\n was: %+v\n now: %+v", spec, again)
+		// Compare the re-marshaled forms: JobSpec holds a *WindowSpec, so
+		// direct struct equality would compare pointers, not contents.
+		enc2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("marshalling round-tripped spec: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip changed the spec:\n was: %s\n now: %s", enc, enc2)
 		}
 	})
 }

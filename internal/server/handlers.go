@@ -21,8 +21,7 @@ const maxDatasetBytes = 64 << 20
 
 // Handler returns the service's HTTP surface:
 //
-//	POST   /v1/datasets            register a CSV dataset (JSON, multipart,
-//	                               or legacy query-param + raw CSV body)
+//	POST   /v1/datasets            register a CSV dataset (JSON or multipart)
 //	GET    /v1/datasets            list registered datasets
 //	GET    /v1/datasets/{id}       one dataset's descriptor
 //	POST   /v1/datasets/{id}/rows  append rows (body: CSV with err column)
@@ -88,14 +87,16 @@ type registerRequest struct {
 	CSV   string `json:"csv"`
 }
 
-// handleRegisterDataset implements POST /v1/datasets. Three body forms:
+// handleRegisterDataset implements POST /v1/datasets. Two body forms:
 //
 //   - application/json: a registerRequest carrying the metadata and the CSV
 //     document inline;
 //   - multipart/form-data: fields name/label/task/err/bins plus a "csv" file
-//     part (the form for big uploads);
-//   - anything else (legacy): the raw CSV as the body with metadata in the
-//     query string — still accepted, answered with a Deprecation header.
+//     part (the form for big uploads).
+//
+// The legacy form — raw CSV body with metadata in the query string — was
+// deprecated (Deprecation header) and is now removed: it answers 400 with
+// the stable code "deprecated_form" pointing at the two supported bodies.
 func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, maxDatasetBytes)
 	var (
@@ -166,25 +167,9 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		defer f.Close()
 		csv = f
 	default:
-		// Legacy form: raw CSV body, metadata in the query string.
-		q := r.URL.Query()
-		opt = registerOptions{
-			Name:  q.Get("name"),
-			Label: q.Get("label"),
-			Task:  q.Get("task"),
-			Err:   q.Get("err"),
-		}
-		if b := q.Get("bins"); b != "" {
-			n, err := strconv.Atoi(b)
-			if err != nil || n < 1 {
-				writeError(w, http.StatusBadRequest, errors.New("server: bins must be a positive integer"))
-				return
-			}
-			opt.Bins = n
-		}
-		csv = body
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", `</API.md>; rel="deprecation"`)
+		writeErrorCode(w, http.StatusBadRequest, codeDeprecatedForm,
+			fmt.Errorf("server: the query-param + raw CSV registration form was removed; register with application/json or multipart/form-data (got Content-Type %q)", ct))
+		return
 	}
 
 	entry, err := buildDataset(csv, opt)

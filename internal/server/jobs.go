@@ -49,12 +49,15 @@ type job struct {
 	// snap is the dataset generation captured at submission: batch jobs
 	// evaluate exactly this generation no matter what is appended
 	// meanwhile, and the cache key and journal record pin its signature.
-	snap    dsSnapshot
-	cfg     core.Config // resolved via WithDefaults; hooks unset
-	key     cacheKey
-	useDist bool
-	monitor bool
-	resume  bool // restored from the journal: resume from the checkpoint
+	snap dsSnapshot
+	// baseSnap is the baseline dataset's snapshot for diff jobs: its error
+	// vector supplies the baseline model's per-row errors.
+	baseSnap dsSnapshot
+	cfg      core.Config // resolved via WithDefaults; hooks unset
+	key      cacheKey
+	useDist  bool
+	monitor  bool
+	resume   bool // restored from the journal: resume from the checkpoint
 
 	// ctx is created at submission so DELETE can cancel a job that is
 	// still queued; the worker hands it to the enumeration.
@@ -114,6 +117,34 @@ func (j *job) currentState() jobState {
 	return j.state
 }
 
+// localOnly reports whether a spec's workload is pinned to in-process
+// evaluation: monitors (incremental maintenance), windowed runs (row
+// weights), and diff runs (weighted lowering over two error vectors).
+// validate rejects an explicit "dist" for all three; auto must not pick it
+// either.
+func localOnly(spec JobSpec) bool {
+	return spec.Mode == ModeMonitor || spec.Mode == ModeDiff || spec.Window != nil
+}
+
+// jobCacheKey builds a spec's result-cache identity from its resolved
+// configuration and dataset signatures. The significance level is resolved
+// to the default here so an explicit 0.05 and an absent field key
+// identically — they produce identical results.
+func jobCacheKey(spec JobSpec, cfg core.Config, dataSig, baseSig uint64) cacheKey {
+	sig := cfg.Significance
+	if sig == 0 {
+		sig = core.DefaultSignificance
+	}
+	return cacheKey{
+		dataSig:  dataSig,
+		cfgSig:   core.ConfigSignature(cfg),
+		maxLevel: cfg.MaxLevel,
+		mode:     spec.Mode,
+		baseSig:  baseSig,
+		sigLevel: sig,
+	}
+}
+
 // submit validates a spec against the registry, resolves its configuration,
 // consults the result cache, and either completes the job instantly (cache
 // hit), enqueues it, or rejects it. The returned HTTP status is 202 on
@@ -127,11 +158,8 @@ func (s *Server) submit(spec JobSpec) (*job, int, error) {
 	// line do not change what this job computes.
 	snap := ds.snapshot()
 
-	// Monitor and windowed jobs always evaluate locally (validate rejects
-	// an explicit "dist" for them; auto must not pick it either).
-	local := spec.Mode == ModeMonitor || spec.Window != nil
 	useDist := spec.Evaluator == EvalDist ||
-		(spec.Evaluator == EvalAuto && !local && s.distCapable())
+		(spec.Evaluator == EvalAuto && !localOnly(spec) && s.distCapable())
 	if useDist && !s.distCapable() {
 		return nil, http.StatusBadRequest, fmt.Errorf("server: job requests distributed evaluation but the server has no workers or membership configured")
 	}
@@ -140,27 +168,46 @@ func (s *Server) submit(spec JobSpec) (*job, int, error) {
 		return s.submitMonitor(spec, ds, snap)
 	}
 
+	// Diff jobs reference a second dataset for the baseline error vector; it
+	// must exist and cover the same rows as the job's dataset.
+	var baseSnap dsSnapshot
+	if spec.Mode == ModeDiff {
+		base, ok := s.reg.get(spec.Baseline)
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("server: unknown baseline dataset %q", spec.Baseline)
+		}
+		baseSnap = base.snapshot()
+		if got, want := len(baseSnap.ErrVec), snap.DS.NumRows(); got != want {
+			return nil, http.StatusBadRequest, fmt.Errorf("server: baseline dataset %q has %d rows, job dataset %q has %d; diff requires the same rows", spec.Baseline, got, spec.Dataset, want)
+		}
+	}
+
 	cfg := spec.Config.ToCore().WithDefaults(snap.DS.NumRows())
+	if spec.Mode == ModeAnytime {
+		cfg.Budget = time.Duration(spec.BudgetMS) * time.Millisecond
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, http.StatusBadRequest, err
 	}
 	j := &job{
-		spec:    spec,
-		ds:      ds,
-		snap:    snap,
-		cfg:     cfg,
-		key:     cacheKey{dataSig: snap.Sig, cfgSig: core.ConfigSignature(cfg), maxLevel: cfg.MaxLevel},
-		useDist: useDist,
-		state:   jobQueued,
-		events:  newEventLog(),
-		done:    make(chan struct{}),
+		spec:     spec,
+		ds:       ds,
+		snap:     snap,
+		baseSnap: baseSnap,
+		cfg:      cfg,
+		key:      jobCacheKey(spec, cfg, snap.Sig, baseSnap.Sig),
+		useDist:  useDist,
+		state:    jobQueued,
+		events:   newEventLog(),
+		done:     make(chan struct{}),
 	}
 
 	// Result cache: an identical completed run answers without touching
 	// the pool (and without emitting any new core.run span). Windowed jobs
 	// skip the cache entirely — their answer depends on wall-clock time,
-	// not just (data, config).
-	if spec.Window == nil {
+	// not just (data, config) — and so do anytime jobs, whose stopping
+	// point depends on how fast this machine happened to enumerate.
+	if spec.Window == nil && spec.Mode != ModeAnytime {
 		if hit, ok := s.cache.get(j.key); ok {
 			j.id = s.newJobID()
 			j.cached = true
@@ -363,9 +410,10 @@ func (s *Server) finishJob(j *job, res *core.Result, err error) {
 
 	if st == jobDone {
 		// Windowed results are a function of wall-clock time, monitor
-		// results of a moving generation; neither may answer a later
-		// batch submission from the cache.
-		if j.spec.Window == nil && !j.monitor {
+		// results of a moving generation, anytime results of this
+		// machine's enumeration speed; none may answer a later
+		// submission from the cache.
+		if j.spec.Window == nil && !j.monitor && j.spec.Mode != ModeAnytime {
 			s.cache.put(j.key, res, js)
 		}
 		s.ob.done.Inc()
@@ -408,6 +456,30 @@ func (s *Server) runJobReal(ctx context.Context, j *job) (*core.Result, error) {
 	if s.journal != nil {
 		cfg.CheckpointPath = s.journal.checkpointPath(j.id)
 		cfg.Resume = j.resume
+	}
+	// A diff job runs two enumerations (regressions, improvements); sharing
+	// one checkpoint file between them would corrupt resume, so diff jobs
+	// run checkpoint-free and restart from scratch after a crash.
+	if j.spec.Mode == ModeDiff {
+		cfg.CheckpointPath = ""
+		cfg.Resume = false
+	}
+	// Anytime jobs stream their improving top-K and certified gap over the
+	// job's event log after every completed level.
+	if j.spec.Mode == ModeAnytime {
+		events := j.events
+		cfg.OnSnapshot = func(snap core.Snapshot) {
+			topK, err := json.Marshal(snap.TopK)
+			if err != nil {
+				return
+			}
+			events.addSnapshot(snapshotEvent{
+				Level:     snap.Level,
+				Gap:       snap.Gap,
+				ElapsedMS: snap.Elapsed.Milliseconds(),
+				TopK:      topK,
+			})
+		}
 	}
 
 	// One span tree per job: the job span carries the context into the
@@ -452,6 +524,9 @@ func (s *Server) runJobReal(ctx context.Context, j *job) (*core.Result, error) {
 			defer cluster.Close()
 			cfg.Evaluator = cluster
 		}
+	}
+	if j.spec.Mode == ModeDiff {
+		return core.RunDiffEncodedContext(ctx, j.snap.Enc, j.snap.DS.Features, j.baseSnap.ErrVec, j.snap.ErrVec, cfg)
 	}
 	if j.spec.Window != nil {
 		w, err := windowWeights(j.snap, j.spec.Window, time.Now())

@@ -1,0 +1,280 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sliceline/internal/core"
+)
+
+// modeCSV renders a deterministic dataset whose err column is supplied per
+// row, so two registrations can share rows while differing only in errors
+// (the diff-mode setup).
+func modeCSV(rows int, errFor func(i int) float64) string {
+	var b strings.Builder
+	b.WriteString("dev,os,region,err\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "d%d,o%d,r%d,%g\n", i%4, i%3, i%2, errFor(i))
+	}
+	return b.String()
+}
+
+// sseEvent is one raw SSE frame captured from a job's event stream.
+type sseEvent struct {
+	kind string
+	data string
+}
+
+// drainEvents opens a job's SSE stream and returns every frame up to and
+// including the terminal "status" event. Safe on finished jobs: the log
+// replays its full history to late subscribers.
+func drainEvents(t *testing.T, ts *httptest.Server, id string) []sseEvent {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	var (
+		out   []sseEvent
+		event string
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			out = append(out, sseEvent{kind: event, data: strings.TrimPrefix(line, "data: ")})
+			if event == "status" {
+				return out
+			}
+		}
+	}
+	t.Fatalf("event stream ended without a status frame (%d events)", len(out))
+	return nil
+}
+
+func decodeResult(t *testing.T, raw json.RawMessage) core.Result {
+	t.Helper()
+	var res core.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("decoding result: %v (%s)", err, raw)
+	}
+	return res
+}
+
+// TestAnytimeJobEndToEnd: a generously-budgeted anytime job must return the
+// batch run's exact top-K with gap 0, stream monotone snapshot events, and
+// stay out of the result cache.
+func TestAnytimeJobEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 2, QueueDepth: 8})
+	info, code := registerCSV(t, ts, testCSV(48), "err=err&name=anytime")
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d", code)
+	}
+
+	cfg := JobConfig{K: 3, Sigma: 2}
+	batch, st, body := postJob(t, ts, JobSpec{Dataset: info.ID, Config: cfg})
+	if st != http.StatusAccepted {
+		t.Fatalf("batch submit: %d %s", st, body)
+	}
+	batchInfo := waitJob(t, ts, batch.ID, 30*time.Second)
+	if batchInfo.Status != string(jobDone) {
+		t.Fatalf("batch job: %s (%s)", batchInfo.Status, batchInfo.Error)
+	}
+	batchRes := decodeResult(t, batchInfo.Result)
+
+	spec := JobSpec{SpecVersion: 2, Dataset: info.ID, Config: cfg, Mode: ModeAnytime, BudgetMS: 60_000}
+	any1, st, body := postJob(t, ts, spec)
+	if st != http.StatusAccepted {
+		t.Fatalf("anytime submit: %d %s", st, body)
+	}
+	anyInfo := waitJob(t, ts, any1.ID, 30*time.Second)
+	if anyInfo.Status != string(jobDone) {
+		t.Fatalf("anytime job: %s (%s)", anyInfo.Status, anyInfo.Error)
+	}
+	if anyInfo.Cached {
+		t.Fatal("anytime job answered from the cache")
+	}
+	anyRes := decodeResult(t, anyInfo.Result)
+	if anyRes.Gap != 0 {
+		t.Fatalf("completed anytime run reports gap %v, want 0", anyRes.Gap)
+	}
+	if !reflect.DeepEqual(anyRes.TopK, batchRes.TopK) {
+		t.Fatalf("anytime top-K differs from batch:\n any:  %+v\n batch: %+v", anyRes.TopK, batchRes.TopK)
+	}
+
+	// Snapshot events: at least one per completed level, with a
+	// non-increasing gap sequence.
+	var snaps []snapshotEvent
+	for _, ev := range drainEvents(t, ts, any1.ID) {
+		if ev.kind != "snapshot" {
+			continue
+		}
+		var se snapshotEvent
+		if err := json.Unmarshal([]byte(ev.data), &se); err != nil {
+			t.Fatalf("decoding snapshot event: %v (%s)", err, ev.data)
+		}
+		snaps = append(snaps, se)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("anytime job emitted no snapshot events")
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Gap > snaps[i-1].Gap {
+			t.Fatalf("snapshot gap increased: %v after %v", snaps[i].Gap, snaps[i-1].Gap)
+		}
+	}
+	var last []core.Slice
+	if err := json.Unmarshal(snaps[len(snaps)-1].TopK, &last); err != nil {
+		t.Fatalf("decoding final snapshot top-K: %v", err)
+	}
+	if len(last) != len(anyRes.TopK) {
+		t.Fatalf("final snapshot carries %d slices, result %d", len(last), len(anyRes.TopK))
+	}
+
+	// A second identical anytime submission must re-run, never hit the cache.
+	any2, st, body := postJob(t, ts, spec)
+	if st != http.StatusAccepted {
+		t.Fatalf("anytime resubmit: %d %s", st, body)
+	}
+	if info2 := waitJob(t, ts, any2.ID, 30*time.Second); info2.Cached {
+		t.Fatal("second anytime submission answered from the cache")
+	}
+
+	// The batch result, however, is cacheable — and an anytime run must not
+	// have polluted its entry.
+	batch2, st, body := postJob(t, ts, JobSpec{Dataset: info.ID, Config: cfg})
+	if st != http.StatusAccepted {
+		t.Fatalf("batch resubmit: %d %s", st, body)
+	}
+	if info2 := waitJob(t, ts, batch2.ID, 30*time.Second); !info2.Cached {
+		t.Fatal("identical batch resubmission missed the cache")
+	}
+}
+
+// TestDiffJobEndToEnd: a diff job over two registered error vectors reports
+// signed slices, and its failure modes carry the right statuses.
+func TestDiffJobEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 2, QueueDepth: 8})
+	// Baseline: errors concentrated on dev=d0; new model fixes d0 but
+	// regresses on os=o1.
+	baseCSV := modeCSV(60, func(i int) float64 {
+		if i%4 == 0 {
+			return 1
+		}
+		return 0.1
+	})
+	newCSV := modeCSV(60, func(i int) float64 {
+		if i%3 == 1 {
+			return 1
+		}
+		return 0.1
+	})
+	baseInfo, code := registerCSV(t, ts, baseCSV, "err=err&name=base")
+	if code != http.StatusCreated {
+		t.Fatalf("register base: status %d", code)
+	}
+	newInfo, code := registerCSV(t, ts, newCSV, "err=err&name=new")
+	if code != http.StatusCreated {
+		t.Fatalf("register new: status %d", code)
+	}
+
+	spec := JobSpec{SpecVersion: 2, Dataset: newInfo.ID, Config: JobConfig{K: 4, Sigma: 2}, Mode: ModeDiff, Baseline: baseInfo.ID}
+	j, st, body := postJob(t, ts, spec)
+	if st != http.StatusAccepted {
+		t.Fatalf("diff submit: %d %s", st, body)
+	}
+	done := waitJob(t, ts, j.ID, 30*time.Second)
+	if done.Status != string(jobDone) {
+		t.Fatalf("diff job: %s (%s)", done.Status, done.Error)
+	}
+	res := decodeResult(t, done.Result)
+	if len(res.TopK) == 0 {
+		t.Fatal("diff job found no signed slices")
+	}
+	sawReg, sawImp := false, false
+	for _, s := range res.TopK {
+		switch s.DiffSign {
+		case 1:
+			sawReg = true
+		case -1:
+			sawImp = true
+		default:
+			t.Fatalf("diff slice without a direction: %+v", s)
+		}
+	}
+	if !sawReg || !sawImp {
+		t.Fatalf("diff top-K misses a direction (regressions=%v improvements=%v): %+v", sawReg, sawImp, res.TopK)
+	}
+
+	// Identical diff resubmission is deterministic, so it may answer from
+	// the cache.
+	j2, st, body := postJob(t, ts, spec)
+	if st != http.StatusAccepted {
+		t.Fatalf("diff resubmit: %d %s", st, body)
+	}
+	if info2 := waitJob(t, ts, j2.ID, 30*time.Second); !info2.Cached {
+		t.Fatal("identical diff resubmission missed the cache")
+	}
+
+	// Unknown baseline: 404.
+	if _, st, _ := postJob(t, ts, JobSpec{SpecVersion: 2, Dataset: newInfo.ID, Mode: ModeDiff, Baseline: "ds_nope"}); st != http.StatusNotFound {
+		t.Fatalf("unknown baseline: status %d, want 404", st)
+	}
+	// Row-count mismatch: 400.
+	shortInfo, code := registerCSV(t, ts, modeCSV(30, func(int) float64 { return 0.2 }), "err=err&name=short")
+	if code != http.StatusCreated {
+		t.Fatalf("register short: status %d", code)
+	}
+	if _, st, _ := postJob(t, ts, JobSpec{SpecVersion: 2, Dataset: newInfo.ID, Mode: ModeDiff, Baseline: shortInfo.ID}); st != http.StatusBadRequest {
+		t.Fatalf("row mismatch: status %d, want 400", st)
+	}
+}
+
+// TestBatchResultCarriesStatistics: every v2 result slice is annotated with
+// a p-value and BH q-value, and the significance knob reaches the run.
+func TestBatchResultCarriesStatistics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Pool: 1, QueueDepth: 4})
+	info, code := registerCSV(t, ts, testCSV(48), "err=err&name=stats")
+	if code != http.StatusCreated {
+		t.Fatalf("register: status %d", code)
+	}
+	j, st, body := postJob(t, ts, JobSpec{
+		SpecVersion: 2,
+		Dataset:     info.ID,
+		Config:      JobConfig{K: 3, Sigma: 2, Significance: 0.01},
+	})
+	if st != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", st, body)
+	}
+	done := waitJob(t, ts, j.ID, 30*time.Second)
+	if done.Status != string(jobDone) {
+		t.Fatalf("job: %s (%s)", done.Status, done.Error)
+	}
+	res := decodeResult(t, done.Result)
+	if len(res.TopK) == 0 {
+		t.Fatal("no slices found")
+	}
+	for _, s := range res.TopK {
+		if s.PValue <= 0 || s.PValue > 1 {
+			t.Fatalf("p-value %v out of (0,1]: %+v", s.PValue, s)
+		}
+		if s.QValue < s.PValue || s.QValue > 1 {
+			t.Fatalf("q-value %v inconsistent with p %v: %+v", s.QValue, s.PValue, s)
+		}
+		if s.Significant != (s.QValue <= 0.01) {
+			t.Fatalf("significance marker disagrees with q=%v at level 0.01: %+v", s.QValue, s)
+		}
+	}
+}

@@ -212,15 +212,23 @@ func (s *Server) restoreJobs(recs []*journalJob) {
 					// for the dataset's current generation (legacy
 					// records carry no signature and predate appends).
 					// A result pinned to an older generation is re-served
-					// by id but must not answer fresh submissions.
+					// by id but must not answer fresh submissions; nor may
+					// anytime results, which depend on wall-clock budgets.
+					// Diff results additionally need their baseline dataset
+					// still registered to rebuild the full key.
+					baseSig, haveBase := uint64(0), true
+					if rec.Spec.Mode == ModeDiff {
+						if base, ok := s.reg.get(rec.Spec.Baseline); ok {
+							baseSig = base.snapshot().Sig
+						} else {
+							haveBase = false
+						}
+					}
 					if !j.monitor && rec.Spec.Window == nil &&
+						rec.Spec.Mode != ModeAnytime && haveBase &&
 						(rec.DataSig == 0 || rec.DataSig == snap.Sig) {
 						cfg := rec.Spec.Config.ToCore().WithDefaults(snap.DS.NumRows())
-						s.cache.put(cacheKey{
-							dataSig:  snap.Sig,
-							cfgSig:   core.ConfigSignature(cfg),
-							maxLevel: cfg.MaxLevel,
-						}, &res, rec.ResultJSON)
+						s.cache.put(jobCacheKey(rec.Spec, cfg, snap.Sig, baseSig), &res, rec.ResultJSON)
 					}
 					j.events.replay(res.Levels)
 				}
@@ -262,16 +270,33 @@ func (s *Server) restoreJobs(recs []*journalJob) {
 			go s.runMonitor(j)
 			continue
 		}
+		// Diff jobs need their baseline dataset back too; without it the
+		// job cannot rerun, so it fails in place like a missing dataset.
+		if rec.Spec.Mode == ModeDiff {
+			base, haveBase := s.reg.get(rec.Spec.Baseline)
+			if !haveBase {
+				j.state = jobFailed
+				j.errMsg = fmt.Sprintf("baseline dataset %s not present in journal after restart", rec.Spec.Baseline)
+				j.events.finish(string(jobFailed), j.errMsg)
+				close(j.done)
+				s.addRestored(j)
+				continue
+			}
+			j.baseSnap = base.snapshot()
+		}
 		// Re-enqueue with resume: the checkpoint file (when one was
 		// written before the crash) carries the completed levels. If the
 		// dataset advanced past the job's journaled generation, the
 		// checkpoint no longer matches the data — drop it and run fresh
 		// against the current generation instead.
 		cfg := rec.Spec.Config.ToCore().WithDefaults(snap.DS.NumRows())
+		if rec.Spec.Mode == ModeAnytime {
+			cfg.Budget = time.Duration(rec.Spec.BudgetMS) * time.Millisecond
+		}
 		j.cfg = cfg
-		j.key = cacheKey{dataSig: snap.Sig, cfgSig: core.ConfigSignature(cfg), maxLevel: cfg.MaxLevel}
+		j.key = jobCacheKey(rec.Spec, cfg, snap.Sig, j.baseSnap.Sig)
 		j.useDist = rec.Spec.Evaluator == EvalDist ||
-			(rec.Spec.Evaluator == EvalAuto && rec.Spec.Window == nil && s.distCapable())
+			(rec.Spec.Evaluator == EvalAuto && !localOnly(rec.Spec) && s.distCapable())
 		j.resume = rec.DataSig == 0 || rec.DataSig == snap.Sig
 		if !j.resume {
 			s.journal.dropCheckpoint(j.id)

@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -61,9 +64,34 @@ func newHTTPTestServer(t *testing.T, s *Server) *httptest.Server {
 	return ts
 }
 
+// registerCSV registers a dataset through the JSON body form. The metadata
+// still arrives as a query string so the many call sites read unchanged; a
+// bins value that is not an integer is forwarded as a JSON string, which the
+// strict decoder rejects — preserving the malformed-input cases.
 func registerCSV(t *testing.T, ts *httptest.Server, csv, query string) (DatasetInfo, int) {
 	t.Helper()
-	resp, err := http.Post(ts.URL+"/v1/datasets?"+query, "text/csv", strings.NewReader(csv))
+	q, err := url.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("parsing query %q: %v", query, err)
+	}
+	req := map[string]any{"csv": csv}
+	for _, k := range []string{"name", "label", "task", "err"} {
+		if v := q.Get(k); v != "" {
+			req[k] = v
+		}
+	}
+	if b := q.Get("bins"); b != "" {
+		if n, aerr := strconv.Atoi(b); aerr == nil {
+			req["bins"] = n
+		} else {
+			req["bins"] = b
+		}
+	}
+	js, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal registration: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", bytes.NewReader(js))
 	if err != nil {
 		t.Fatalf("POST /v1/datasets: %v", err)
 	}

@@ -24,8 +24,9 @@ type terminalEvent struct {
 // handleJobEvents implements GET /v1/jobs/{id}/events: a Server-Sent Events
 // stream with one "level" event per completed lattice level (history first,
 // then live), one "result" event per monitor refresh (the maintained top-K
-// for each new dataset generation), and a final "status" event carrying the
-// terminal state. The handler returns when the job reaches a terminal state
+// for each new dataset generation), one "snapshot" event per completed level
+// of an anytime job (the improving top-K plus certified optimality gap), and
+// a final "status" event carrying the terminal state. The handler returns when the job reaches a terminal state
 // or the client disconnects; a finished job still yields its full history, so
 // the stream is safe to open at any point in the job's life. Monitor streams
 // stay open until the monitor is cancelled.
@@ -62,6 +63,8 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				})
 			case "result":
 				writeSSE(w, "result", from+i, e.result)
+			case "snapshot":
+				writeSSE(w, "snapshot", from+i, e.snapshot)
 			}
 		}
 		from += len(entries)

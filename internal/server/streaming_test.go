@@ -481,8 +481,21 @@ func TestErrorEnvelope(t *testing.T) {
 	if _, st, body := postJob(t, ts, `{"dataset":"x","mode":"monitor"}`); st != http.StatusBadRequest || decodeEnvelope(t, body) != codeBadJobSpec {
 		t.Fatalf("monitor without spec_version: %d %s", st, body)
 	}
-	if _, st, body := postJob(t, ts, `{"dataset":"x","spec_version":2}`); st != http.StatusBadRequest || decodeEnvelope(t, body) != codeBadJobSpec {
+	if _, st, body := postJob(t, ts, `{"dataset":"x","spec_version":3}`); st != http.StatusBadRequest || decodeEnvelope(t, body) != codeBadJobSpec {
 		t.Fatalf("future spec_version: %d %s", st, body)
+	}
+	// New-mode validation failures also carry bad_job_spec.
+	if _, st, body := postJob(t, ts, `{"dataset":"x","spec_version":2,"mode":"anytime"}`); st != http.StatusBadRequest || decodeEnvelope(t, body) != codeBadJobSpec {
+		t.Fatalf("anytime without budget: %d %s", st, body)
+	}
+	if _, st, body := postJob(t, ts, `{"dataset":"x","spec_version":2,"mode":"diff"}`); st != http.StatusBadRequest || decodeEnvelope(t, body) != codeBadJobSpec {
+		t.Fatalf("diff without baseline: %d %s", st, body)
+	}
+	if _, st, body := postJob(t, ts, `{"dataset":"x","spec_version":2,"mode":"windowed"}`); st != http.StatusBadRequest || decodeEnvelope(t, body) != codeBadJobSpec {
+		t.Fatalf("windowed without window: %d %s", st, body)
+	}
+	if _, st, body := postJob(t, ts, `{"dataset":"x","spec_version":2,"budget_ms":100}`); st != http.StatusBadRequest || decodeEnvelope(t, body) != codeBadJobSpec {
+		t.Fatalf("budget_ms outside anytime: %d %s", st, body)
 	}
 	if _, st, body := postJob(t, ts, `{"dataset":"x","spec_version":1,"window":{}}`); st != http.StatusBadRequest || decodeEnvelope(t, body) != codeBadJobSpec {
 		t.Fatalf("empty window: %d %s", st, body)
@@ -498,27 +511,22 @@ func TestErrorEnvelope(t *testing.T) {
 	}
 }
 
-// TestRegisterBodyForms: the three registration body forms must land on the
-// same content address, and the legacy form must carry a Deprecation header.
+// TestRegisterBodyForms: the two supported registration body forms must land
+// on the same content address, and the removed legacy query-param form must
+// be rejected with the stable deprecated_form code.
 func TestRegisterBodyForms(t *testing.T) {
 	_, ts := newTestServer(t, Config{Pool: 1, QueueDepth: 2})
 	csv := testCSV(18)
 
-	// Legacy query-param form: answered with a Deprecation header.
+	// Removed legacy query-param form: 400 with a stable error code.
 	resp, err := http.Post(ts.URL+"/v1/datasets?name=legacy&err=err", "text/csv", strings.NewReader(csv))
 	if err != nil {
 		t.Fatalf("legacy register: %v", err)
 	}
-	var legacy DatasetInfo
-	if err := json.NewDecoder(resp.Body).Decode(&legacy); err != nil {
-		t.Fatalf("decoding legacy info: %v", err)
-	}
+	raw0, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		t.Fatalf("legacy register: status %d", resp.StatusCode)
-	}
-	if resp.Header.Get("Deprecation") != "true" {
-		t.Fatal("legacy registration response misses the Deprecation header")
+	if resp.StatusCode != http.StatusBadRequest || decodeEnvelope(t, string(raw0)) != codeDeprecatedForm {
+		t.Fatalf("legacy register: %d %s, want 400 %s", resp.StatusCode, raw0, codeDeprecatedForm)
 	}
 
 	// JSON body form.
@@ -532,14 +540,11 @@ func TestRegisterBodyForms(t *testing.T) {
 		t.Fatalf("decoding json info: %v", err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK { // same content: idempotent re-upload
-		t.Fatalf("json register: status %d, want 200 (reused)", resp.StatusCode)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("json register: status %d, want 201", resp.StatusCode)
 	}
-	if resp.Header.Get("Deprecation") != "" {
-		t.Fatal("json registration must not carry a Deprecation header")
-	}
-	if !fromJSON.Reused || fromJSON.ID != legacy.ID {
-		t.Fatalf("json registration: reused=%v id=%s, want reuse of %s", fromJSON.Reused, fromJSON.ID, legacy.ID)
+	if fromJSON.Reused {
+		t.Fatal("first registration reported reused")
 	}
 
 	// Multipart form.
@@ -559,8 +564,8 @@ func TestRegisterBodyForms(t *testing.T) {
 		t.Fatalf("decoding multipart info: %v", err)
 	}
 	resp.Body.Close()
-	if !fromMP.Reused || fromMP.ID != legacy.ID {
-		t.Fatalf("multipart registration: reused=%v id=%s, want reuse of %s", fromMP.Reused, fromMP.ID, legacy.ID)
+	if !fromMP.Reused || fromMP.ID != fromJSON.ID {
+		t.Fatalf("multipart registration: reused=%v id=%s, want reuse of %s", fromMP.Reused, fromMP.ID, fromJSON.ID)
 	}
 
 	// Malformed JSON body → envelope.

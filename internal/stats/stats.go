@@ -1,0 +1,185 @@
+// Package stats provides the statistical primitives shared by the result
+// annotation layer (internal/core's per-slice significance guardrails) and
+// the SliceFinder-style baseline (internal/baseline): Welch's unequal-variance
+// t-test from summary statistics, Student's t tail probabilities via the
+// regularized incomplete beta function, Cohen's d effect size, and
+// Benjamini–Hochberg false-discovery-rate q-values. Everything operates on
+// (mean, variance, count) summaries, so callers can feed it accumulator
+// output without holding the raw samples.
+package stats
+
+import "math"
+
+// Welch computes Welch's t statistic and degrees of freedom for two samples
+// summarized by (mean, variance, count). Counts are float64 so weighted
+// (fractional) sample sizes plug in directly; integer counts are exact.
+// Callers must ensure n1 > 1 and n2 > 1 — below that the variance (and the
+// Welch–Satterthwaite degrees of freedom) are undefined.
+func Welch(m1, v1, n1, m2, v2, n2 float64) (t, df float64) {
+	a := v1 / n1
+	b := v2 / n2
+	se := math.Sqrt(a + b)
+	if se == 0 {
+		if m1 == m2 {
+			return 0, 1
+		}
+		if m1 > m2 {
+			return math.Inf(1), 1
+		}
+		return math.Inf(-1), 1
+	}
+	t = (m1 - m2) / se
+	den := a*a/(n1-1) + b*b/(n2-1)
+	if den == 0 {
+		df = n1 + n2 - 2
+	} else {
+		df = (a + b) * (a + b) / den
+	}
+	if df < 1 {
+		df = 1
+	}
+	return t, df
+}
+
+// EffectSize computes the standardized difference of two distributions
+// (Cohen's d with pooled variance), the SliceFinder effect-size measure.
+func EffectSize(m1, v1, m2, v2 float64) float64 {
+	pooled := math.Sqrt((v1 + v2) / 2)
+	if pooled == 0 {
+		if m1 == m2 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (m1 - m2) / pooled
+}
+
+// TCDFUpper returns P(T >= t) for Student's t distribution with df degrees
+// of freedom, via the regularized incomplete beta function.
+func TCDFUpper(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	if math.IsInf(t, -1) {
+		return 1
+	}
+	x := df / (df + t*t)
+	p := 0.5 * regIncBeta(df/2, 0.5, x)
+	if t < 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// BenjaminiHochberg converts p-values into step-up FDR q-values over the
+// family p: q_(i) = min_{j >= i} p_(j)·m/j with p sorted ascending, clamped
+// to [0, 1] and mapped back to the input order. A slice is significant at
+// FDR level alpha iff its q-value is <= alpha. The input is not modified.
+// q-values are monotone in p: sorting the output by its p-value never
+// decreases, and every q >= its p.
+func BenjaminiHochberg(p []float64) []float64 {
+	m := len(p)
+	q := make([]float64, m)
+	if m == 0 {
+		return q
+	}
+	// Indices sorted by ascending p (stable insertion sort: families are
+	// tiny — one per top-K — and this keeps ties in input order).
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < m; i++ {
+		for j := i; j > 0 && p[order[j]] < p[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	run := math.Inf(1)
+	for j := m - 1; j >= 0; j-- {
+		v := p[order[j]] * float64(m) / float64(j+1)
+		if v < run {
+			run = v
+		}
+		qv := run
+		if qv > 1 {
+			qv = 1
+		}
+		if qv < 0 {
+			qv = 0
+		}
+		q[order[j]] = qv
+	}
+	return q
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Lentz's method), following the
+// standard numerical-recipes formulation.
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	ln := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		tiny    = 1e-30
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

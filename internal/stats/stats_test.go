@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if got := regIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v, want 0", got)
+	}
+	if got := regIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v, want 1", got)
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a)
+	for _, c := range []struct{ a, b, x float64 }{
+		{2, 3, 0.3}, {0.5, 0.5, 0.7}, {5, 1, 0.2}, {10, 10, 0.5},
+	} {
+		lhs := regIncBeta(c.a, c.b, c.x)
+		rhs := 1 - regIncBeta(c.b, c.a, 1-c.x)
+		if math.Abs(lhs-rhs) > 1e-12 {
+			t.Errorf("symmetry violated at %+v: %v vs %v", c, lhs, rhs)
+		}
+	}
+}
+
+func TestRegIncBetaUniformCase(t *testing.T) {
+	// I_x(1,1) = x (Beta(1,1) is uniform).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+}
+
+func TestTCDFKnownValues(t *testing.T) {
+	// Reference upper-tail values: t=0 → 0.5 for any df; large df approaches
+	// the normal distribution: P(T >= 1.96, df=1e6) ≈ 0.025.
+	if got := TCDFUpper(0, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(T>=0) = %v, want 0.5", got)
+	}
+	if got := TCDFUpper(1.96, 1e6); math.Abs(got-0.025) > 1e-4 {
+		t.Errorf("P(T>=1.96, df=1e6) = %v, want ≈ 0.025", got)
+	}
+	// df=1 (Cauchy): P(T >= 1) = 0.25 exactly.
+	if got := TCDFUpper(1, 1); math.Abs(got-0.25) > 1e-10 {
+		t.Errorf("P(T>=1, df=1) = %v, want 0.25", got)
+	}
+	// Monotone decreasing in t.
+	prev := 1.0
+	for _, tv := range []float64{-2, -1, 0, 1, 2, 5} {
+		p := TCDFUpper(tv, 7)
+		if p > prev {
+			t.Errorf("TCDFUpper not monotone at t=%v", tv)
+		}
+		prev = p
+	}
+}
+
+func TestTCDFInfiniteT(t *testing.T) {
+	if got := TCDFUpper(math.Inf(1), 5); got != 0 {
+		t.Errorf("P(T>=+Inf) = %v, want 0", got)
+	}
+	if got := TCDFUpper(math.Inf(-1), 5); got != 1 {
+		t.Errorf("P(T>=-Inf) = %v, want 1", got)
+	}
+}
+
+func TestWelchEqualSamples(t *testing.T) {
+	tt, df := Welch(5, 1, 100, 5, 1, 100)
+	if tt != 0 {
+		t.Errorf("t = %v, want 0 for equal means", tt)
+	}
+	if df < 100 {
+		t.Errorf("df = %v, unexpectedly small", df)
+	}
+}
+
+func TestWelchZeroVariance(t *testing.T) {
+	tt, _ := Welch(5, 0, 10, 3, 0, 10)
+	if !math.IsInf(tt, 1) {
+		t.Errorf("t = %v, want +Inf for zero variance different means", tt)
+	}
+	tt, _ = Welch(5, 0, 10, 5, 0, 10)
+	if tt != 0 {
+		t.Errorf("t = %v, want 0 for identical degenerate samples", tt)
+	}
+}
+
+func TestWelchFractionalCounts(t *testing.T) {
+	// Float counts slot straight in; a half-weighted sample behaves like a
+	// smaller one: shrinking n1 shrinks t (for the same means/variances).
+	tFull, _ := Welch(2, 1, 50, 1, 1, 500)
+	tHalf, _ := Welch(2, 1, 25.5, 1, 1, 500)
+	if !(tFull > tHalf && tHalf > 0) {
+		t.Errorf("t not shrinking with n1: full=%v half=%v", tFull, tHalf)
+	}
+}
+
+func TestEffectSize(t *testing.T) {
+	if got := EffectSize(2, 1, 1, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("effect size = %v, want 1", got)
+	}
+	if got := EffectSize(1, 0, 1, 0); got != 0 {
+		t.Errorf("degenerate equal = %v, want 0", got)
+	}
+	if got := EffectSize(2, 0, 1, 0); !math.IsInf(got, 1) {
+		t.Errorf("degenerate different = %v, want +Inf", got)
+	}
+}
+
+func TestBenjaminiHochbergKnown(t *testing.T) {
+	// Textbook example: p = {0.01, 0.04, 0.03, 0.005}.
+	// Sorted: 0.005, 0.01, 0.03, 0.04 → raw m*p/j: 0.02, 0.02, 0.04, 0.04;
+	// step-up min-from-right leaves them as-is.
+	p := []float64{0.01, 0.04, 0.03, 0.005}
+	want := []float64{0.02, 0.04, 0.04, 0.02}
+	q := BenjaminiHochberg(p)
+	for i := range want {
+		if math.Abs(q[i]-want[i]) > 1e-12 {
+			t.Errorf("q[%d] = %v, want %v (q=%v)", i, q[i], want[i], q)
+		}
+	}
+}
+
+func TestBenjaminiHochbergEdge(t *testing.T) {
+	if got := BenjaminiHochberg(nil); len(got) != 0 {
+		t.Errorf("empty input → %v, want empty", got)
+	}
+	q := BenjaminiHochberg([]float64{0.7})
+	if len(q) != 1 || q[0] != 0.7 {
+		t.Errorf("singleton q = %v, want [0.7]", q)
+	}
+	// All-ones stays clamped at 1.
+	q = BenjaminiHochberg([]float64{1, 1, 1})
+	for i, v := range q {
+		if v != 1 {
+			t.Errorf("q[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestBenjaminiHochbergProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(20)
+		p := make([]float64, m)
+		for i := range p {
+			p[i] = rng.Float64()
+		}
+		q := BenjaminiHochberg(p)
+		// q >= p and q ∈ [0,1].
+		for i := range p {
+			if q[i] < p[i]-1e-15 {
+				t.Fatalf("trial %d: q[%d]=%v < p=%v", trial, i, q[i], p[i])
+			}
+			if q[i] < 0 || q[i] > 1 {
+				t.Fatalf("trial %d: q[%d]=%v out of [0,1]", trial, i, q[i])
+			}
+		}
+		// Monotone: sorting pairs by p, q must be non-decreasing.
+		idx := make([]int, m)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return p[idx[a]] < p[idx[b]] })
+		for j := 1; j < m; j++ {
+			if q[idx[j]] < q[idx[j-1]]-1e-15 {
+				t.Fatalf("trial %d: q not monotone in p: %v at p %v", trial, q, p)
+			}
+		}
+		// Input untouched.
+		_ = p
+	}
+}

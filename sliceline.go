@@ -46,6 +46,9 @@ type (
 	Predicate = core.Predicate
 	// LevelStats reports per-lattice-level enumeration characteristics.
 	LevelStats = core.LevelStats
+	// Snapshot is one anytime-mode progress point: the current top-K plus
+	// the certified optimality gap (see WithBudget / WithOnSnapshot).
+	Snapshot = core.Snapshot
 
 	// Dataset is an integer-encoded feature matrix with metadata and an
 	// optional label vector.
@@ -54,9 +57,11 @@ type (
 	Feature = frame.Feature
 )
 
-// Run executes the SliceLine enumeration on a dataset and error vector. It
-// delegates to RunContext with context.Background(); new code that needs
-// cancellation, tracing or metrics should call RunContext directly.
+// Run executes the SliceLine enumeration on a dataset and error vector.
+//
+// Deprecated: use RunContext, the single entry point; it accepts functional
+// options for weights, budgets, observability and checkpointing. Run remains
+// supported and delegates there with context.Background().
 func Run(ds *Dataset, e []float64, cfg Config) (*Result, error) {
 	return RunContext(context.Background(), ds, e, cfg)
 }
@@ -64,8 +69,20 @@ func Run(ds *Dataset, e []float64, cfg Config) (*Result, error) {
 // RunWeighted is Run with per-row weights: row i counts as w[i] identical
 // rows in every size and error aggregate, so deduplicated datasets with
 // multiplicities produce exactly the same top-K as their expanded form.
+//
+// Deprecated: use RunContext with WithWeights(w).
 func RunWeighted(ds *Dataset, e, w []float64, cfg Config) (*Result, error) {
-	return RunWeightedContext(context.Background(), ds, e, w, cfg)
+	return RunContext(context.Background(), ds, e, cfg, WithWeights(w))
+}
+
+// RunDiff finds the top slices of model-behavior change between a baseline
+// and a new error vector over the same rows: regressions (new model worse,
+// Slice.DiffSign = +1) and improvements (DiffSign = -1), interleaved by
+// score. Each direction is an ordinary SliceLine run over the rectified
+// error delta, so its slices are exactly what RunContext would report over
+// max(0, ±(eNew−eBase)). See RunDiffContext for the context-aware form.
+func RunDiff(ds *Dataset, eBase, eNew []float64, cfg Config) (*Result, error) {
+	return RunDiffContext(context.Background(), ds, eBase, eNew, cfg)
 }
 
 // BruteForce exhaustively enumerates the full slice lattice; it is only
