@@ -63,10 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		resume      = fs.Bool("resume", false, "resume from -checkpoint (missing file starts fresh)")
 		tracePath   = fs.String("trace", "", "write a JSON span dump of the run (levels, evaluations, RPCs) to this file")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address while the run executes")
-		callTimeout = fs.Duration("call-timeout", 0, "per-RPC deadline for distributed workers (0 = none)")
-		hedgeAfter  = fs.Duration("hedge-after", 0, "speculatively re-execute a partition stuck longer than this (0 = off)")
-		hedgeMult   = fs.Float64("hedge-mult", 0, "adaptive hedging: straggler threshold as a multiple of the level median (0 = off)")
-		heartbeat   = fs.Duration("heartbeat", 0, "probe worker liveness at this interval between levels (0 = off)")
+		callTimeout = fs.Duration("call-timeout", dist.DefaultCallTimeout, "per-RPC deadline for distributed workers (0 = none)")
+		hedgeAfter  = fs.Duration("hedge-after", 0, "speculatively re-execute a partition stuck longer than this fixed delay (0 = adaptive via -hedge-mult)")
+		hedgeMult   = fs.Float64("hedge-mult", dist.DefaultHedgeMultiplier, "adaptive hedging: straggler threshold as a multiple of the level median (0 = off; default tuned by the committed slsim sweep)")
+		heartbeat   = fs.Duration("heartbeat", dist.DefaultHeartbeatInterval, "probe worker liveness at this interval between levels (0 = off)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {

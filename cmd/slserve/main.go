@@ -41,7 +41,6 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"sliceline/internal/dist"
 	"sliceline/internal/membership"
@@ -65,13 +64,13 @@ func run(args []string) int {
 		journalDir   = fs.String("journal", "", "persist datasets, jobs and checkpoints in this directory for restart/resume")
 		workers      = fs.String("workers", "", "comma-separated worker addresses for distributed evaluation")
 		listenWork   = fs.String("listen-workers", "", "accept slworker -join announces on this address (dynamic fleet membership)")
-		lease        = fs.Duration("lease", 0, "membership lease renewal interval granted to workers (0 = 2s)")
-		leaseStrikes = fs.Int("lease-strikes", 0, "missed lease scans before a silent worker is expelled (0 = 3)")
-		callTimeout  = fs.Duration("call-timeout", 0, "per-RPC deadline for distributed workers (0 = none)")
-		hedgeAfter   = fs.Duration("hedge-after", 0, "speculatively re-execute a partition stuck longer than this (0 = off)")
-		hedgeMult    = fs.Float64("hedge-mult", 0, "adaptive hedging: straggler threshold as a multiple of the level median (0 = off)")
-		heartbeat    = fs.Duration("heartbeat", 0, "probe worker liveness at this interval between levels (0 = off)")
-		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max wait for queued and running jobs on SIGTERM/SIGINT")
+		lease        = fs.Duration("lease", membership.DefaultLeaseInterval, "membership lease renewal interval granted to workers")
+		leaseStrikes = fs.Int("lease-strikes", membership.DefaultLeaseStrikes, "missed lease scans before a silent worker is expelled (default confirmed by the committed slsim sweep)")
+		callTimeout  = fs.Duration("call-timeout", dist.DefaultCallTimeout, "per-RPC deadline for distributed workers (0 = none)")
+		hedgeAfter   = fs.Duration("hedge-after", 0, "speculatively re-execute a partition stuck longer than this fixed delay (0 = adaptive via -hedge-mult)")
+		hedgeMult    = fs.Float64("hedge-mult", dist.DefaultHedgeMultiplier, "adaptive hedging: straggler threshold as a multiple of the level median (0 = off; default tuned by the committed slsim sweep)")
+		heartbeat    = fs.Duration("heartbeat", dist.DefaultHeartbeatInterval, "probe worker liveness at this interval between levels (0 = off)")
+		drainTimeout = fs.Duration("drain-timeout", dist.DefaultDrainTimeout, "max wait for queued and running jobs on SIGTERM/SIGINT")
 		tracePath    = fs.String("trace", "", "write a JSON span dump (one tree per job) to this file on exit")
 		showVersion  = fs.Bool("version", false, "print version and exit")
 	)

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testScenario = `{
+  "schema_version": 1,
+  "name": "cli-smoke",
+  "seed": 7,
+  "workers": 4,
+  "partitions": 8,
+  "rows": 4000,
+  "bytes_per_row": 64,
+  "bandwidth_mbps": 100,
+  "levels": [20, 40],
+  "topology": {"kind": "star", "local_ms": {"kind": "uniform", "min": 0.05, "max": 0.2}},
+  "service": {"per_pair_ns": {"kind": "lognormal", "mu": 4, "sigma": 0.3}},
+  "faults": {"crashes": [{"worker": 2, "at_ms": 5}]},
+  "grid": {"hedge_mult": [0, 2.0], "heartbeat_ms": [50]}
+}`
+
+func writeScenario(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(testScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunByteIdenticalReports(t *testing.T) {
+	sc := writeScenario(t)
+	dir := t.TempDir()
+	out1, out2 := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", sc, "-out", out1, "-quiet"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, stderr.String())
+	}
+	if code := run([]string{"-scenario", sc, "-out", out2, "-quiet"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second run exit %d: %s", code, stderr.String())
+	}
+	a, _ := os.ReadFile(out1)
+	b, _ := os.ReadFile(out2)
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatalf("reports differ across identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+func TestRunCheck(t *testing.T) {
+	sc := writeScenario(t)
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", sc, "-out", out, "-quiet"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("sweep exit %d: %s", code, stderr.String())
+	}
+	if code := run([]string{"-scenario", sc, "-check", out, "-quiet"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-check against fresh report exit %d: %s", code, stderr.String())
+	}
+	// Any drift — here a single flipped byte — must fail the check.
+	raw, _ := os.ReadFile(out)
+	raw[len(raw)/2] ^= 1
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-scenario", sc, "-check", out, "-quiet"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-check against tampered report exit %d, want 1", code)
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing -scenario exit %d, want 2", code)
+	}
+	if code := run([]string{"-scenario", filepath.Join(t.TempDir(), "missing.json")}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing file exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema_version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-scenario", bad}, &stdout, &stderr); code != 2 {
+		t.Fatalf("malformed scenario exit %d, want 2", code)
+	}
+}

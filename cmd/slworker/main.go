@@ -39,7 +39,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7071", "listen address (host:port)")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight calls on SIGTERM/SIGINT")
+	drainTimeout := flag.Duration("drain-timeout", dist.DefaultDrainTimeout, "max wait for in-flight calls on SIGTERM/SIGINT")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address")
 	bitset := flag.String("bitset", "auto", "slice-membership kernel: auto (by partition density), on (packed bitset), off (fused CSR)")
 	join := flag.String("join", "", "driver membership URL (e.g. http://driver:7070): announce this worker and keep the lease renewed")

@@ -185,6 +185,13 @@ type Options struct {
 	// re-shipped the rows. Use the dataset's content signature as the seed.
 	PlacementSeed uint64
 
+	// OnDecision, when non-nil, receives every scheduling decision the
+	// cluster takes (failover, hedge, eviction, re-ship, …) as a typed
+	// Decision. Decisions from concurrent partition evaluations may arrive
+	// concurrently; the hook must be safe for concurrent use. The simulator's
+	// fidelity tests compare this stream against a simulated run's.
+	OnDecision func(Decision)
+
 	// LocalFallback, when set, degrades gracefully instead of failing the
 	// run when no live worker remains for a partition: the driver evaluates
 	// that partition itself with the same kernel a worker would use, so the
@@ -216,7 +223,7 @@ func (o Options) withDefaults() Options {
 		}
 	}
 	if o.HeartbeatStrikes <= 0 {
-		o.HeartbeatStrikes = 2
+		o.HeartbeatStrikes = DefaultHeartbeatStrikes
 	}
 	return o
 }
@@ -356,17 +363,10 @@ func (c *Cluster) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
 		}
 	}
 	c.mu.Unlock()
-	base, rem := 0, 0
-	if nParts > 0 {
-		base, rem = n/nParts, n%nParts
-	}
+	sizes := PartitionSizes(n, nParts)
 	lo := 0
 	for k := 0; k < nParts; k++ {
-		size := base
-		if k < rem {
-			size++
-		}
-		hi := lo + size
+		hi := lo + sizes[k]
 		part := partition{x: x.SelectRows(seq(lo, hi)), e: e[lo:hi]}
 		// Prefer the placed worker (ring owner in elastic clusters, index
 		// modulo worker count otherwise), but a worker whose initial Load
@@ -389,6 +389,7 @@ func (c *Cluster) Setup(ctx context.Context, x *matrix.CSR, e []float64) error {
 		if wi >= 0 && c.warm != nil && c.opts.PlacementSeed != 0 && c.warm(c.wireKey(k), wi) {
 			sp.Event(fmt.Sprintf("partition %d re-attached warm on worker %d", k, wi))
 			c.ob.warmAttach.Inc()
+			c.decide(Decision{Kind: DecideWarmAttach, Part: k, Worker: wi, Target: -1})
 			c.mu.Lock()
 			c.parts = append(c.parts, part)
 			c.assign = append(c.assign, wi)
@@ -480,6 +481,7 @@ func (c *Cluster) reviveWorker(wi int) {
 	c.mu.Unlock()
 	if !was {
 		c.ob.resurrections.Inc()
+		c.decide(Decision{Kind: DecideResurrect, Part: -1, Worker: wi, Target: -1})
 	}
 }
 
@@ -673,16 +675,12 @@ func (c *Cluster) setAssign(p, wi int) {
 	c.mu.Unlock()
 }
 
-// nextLive returns the lowest-indexed live worker excluding avoid, or -1.
+// nextLive returns the lowest-indexed live worker excluding avoid, or -1,
+// per the shared NextLiveWorker selection policy.
 func (c *Cluster) nextLive(avoid int) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for k, a := range c.alive {
-		if a && k != avoid {
-			return k
-		}
-	}
-	return -1
+	return NextLiveWorker(c.alive, avoid)
 }
 
 // evalPartitionChain evaluates one partition, failing over to other live
@@ -721,6 +719,7 @@ func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, l
 			// run instead of shifting its load onto the survivors.
 			sp.Event(fmt.Sprintf("reloading partition in place on worker %d", wi))
 			c.ob.retries.Inc()
+			c.decide(Decision{Kind: DecideRetryInPlace, Part: p, Worker: wi, Target: -1})
 			if lerr := c.loadPartition(ctx, wi, p); lerr == nil {
 				ss, se, sm, err = c.tryEval(ctx, wi, p, cols, level)
 				if err == nil {
@@ -745,6 +744,7 @@ func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, l
 				// bit-identical statistics instead of erroring.
 				sp.Event(fmt.Sprintf("degraded: evaluating partition %d on the driver", p))
 				c.ob.degraded.Inc()
+				c.decide(Decision{Kind: DecideDegrade, Part: p, Worker: -1, Target: -1})
 				ss, se, sm = c.evalLocal(p, cols, level)
 				return ss, se, sm, -1, nil
 			}
@@ -759,6 +759,7 @@ func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, l
 			sp.Event(fmt.Sprintf("failing over partition to worker %d", next))
 			c.ob.failovers.Inc()
 			c.ob.retries.Inc()
+			c.decide(Decision{Kind: DecideFailover, Part: p, Worker: c.assignOf(p), Target: next})
 		}
 		c.setAssign(p, next)
 		if lerr := c.loadPartition(ctx, next, p); lerr != nil {
@@ -772,6 +773,7 @@ func (c *Cluster) evalPartitionChain(ctx context.Context, p int, cols [][]int, l
 	if c.opts.LocalFallback && ctx.Err() == nil {
 		sp.Event(fmt.Sprintf("degraded: partition %d failed on every worker, evaluating on the driver", p))
 		c.ob.degraded.Inc()
+		c.decide(Decision{Kind: DecideDegrade, Part: p, Worker: -1, Target: -1})
 		ss, se, sm = c.evalLocal(p, cols, level)
 		return ss, se, sm, -1, nil
 	}
@@ -803,62 +805,12 @@ func (c *Cluster) evalLocal(p int, cols [][]int, level int) (ss, se, sm []float6
 	return ss, se, sm
 }
 
-// hedger tracks completed-partition durations within one Eval (one lattice
-// level chunk) and decides when a still-running partition counts as a
-// straggler. A nil or disabled hedger never fires.
-type hedger struct {
-	fixed time.Duration
-	mult  float64
-	parts int
-
-	mu   sync.Mutex
-	durs []time.Duration
+// newHedger builds the level's straggler policy from the cluster knobs; the
+// policy logic itself lives in HedgePolicy (policy.go), shared with the
+// simulator.
+func (c *Cluster) newHedger(nParts int) *HedgePolicy {
+	return NewHedgePolicy(c.opts.HedgeDelay, c.opts.HedgeMultiplier, nParts)
 }
-
-func (c *Cluster) newHedger(nParts int) *hedger {
-	if c.opts.HedgeDelay <= 0 && c.opts.HedgeMultiplier <= 0 {
-		return nil
-	}
-	return &hedger{fixed: c.opts.HedgeDelay, mult: c.opts.HedgeMultiplier, parts: nParts}
-}
-
-func (h *hedger) record(d time.Duration) {
-	if h == nil {
-		return
-	}
-	h.mu.Lock()
-	h.durs = append(h.durs, d)
-	h.mu.Unlock()
-}
-
-// threshold returns the current straggler threshold. With a fixed delay it
-// is always available; in adaptive mode it needs completions from at least
-// half the level's partitions first.
-func (h *hedger) threshold() (time.Duration, bool) {
-	if h == nil {
-		return 0, false
-	}
-	if h.fixed > 0 {
-		return h.fixed, true
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.durs) == 0 || len(h.durs)*2 < h.parts {
-		return 0, false
-	}
-	durs := append([]time.Duration(nil), h.durs...)
-	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-	med := durs[len(durs)/2]
-	th := time.Duration(float64(med) * h.mult)
-	if th < time.Millisecond {
-		th = time.Millisecond
-	}
-	return th, true
-}
-
-// adaptive reports whether the threshold may still become available as more
-// partitions complete, so the waiter should re-check periodically.
-func (h *hedger) adaptive() bool { return h != nil && h.fixed <= 0 && h.mult > 0 }
 
 // hedgeRecheck is how often an adaptive hedger re-evaluates its evidence
 // while no threshold is available yet.
@@ -870,7 +822,7 @@ const hedgeRecheck = 2 * time.Millisecond
 // needed) and the first well-formed result wins. The loser is cancelled;
 // its result, if any, is discarded whole — never merged — so determinism is
 // preserved.
-func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, cols [][]int, level int) (ss, se, sm []float64, err error) {
+func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *HedgePolicy, p int, cols [][]int, level int) (ss, se, sm []float64, err error) {
 	type outcome struct {
 		ss, se, sm []float64
 		winner     int
@@ -906,13 +858,13 @@ func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, co
 		var timer *time.Timer
 		var timerC <-chan time.Time
 		if hedge == nil && primary != nil {
-			if th, ok := hc.threshold(); ok {
+			if th, ok := hc.Threshold(); ok {
 				wait := th - time.Since(start)
 				if wait < 0 {
 					wait = 0
 				}
 				timer = time.NewTimer(wait)
-			} else if hc.adaptive() {
+			} else if hc.Adaptive() {
 				timer = time.NewTimer(hedgeRecheck)
 			}
 			if timer != nil {
@@ -924,7 +876,7 @@ func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, co
 			stopTimer(timer)
 			if out.err == nil {
 				hcancel()
-				hc.record(time.Since(start))
+				hc.Record(time.Since(start))
 				c.setAssign(p, out.winner)
 				psp.SetInt("winner", int64(out.winner))
 				return out.ss, out.se, out.sm, nil
@@ -937,9 +889,10 @@ func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, co
 			stopTimer(timer)
 			if out.err == nil {
 				pcancel()
-				hc.record(time.Since(start))
+				hc.Record(time.Since(start))
 				c.setAssign(p, out.winner)
 				c.ob.hedgeWins.Inc()
+				c.decide(Decision{Kind: DecideHedgeWin, Part: p, Worker: out.winner, Target: -1})
 				psp.SetInt("winner", int64(out.winner))
 				psp.SetBool("hedge_won", true)
 				return out.ss, out.se, out.sm, nil
@@ -950,7 +903,7 @@ func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, co
 			hedge = nil // primary may still succeed; keep waiting
 		case <-timerC:
 			stopTimer(timer)
-			if th, ok := hc.threshold(); !ok || time.Since(start) < th {
+			if th, ok := hc.Threshold(); !ok || time.Since(start) < th {
 				continue // adaptive evidence not conclusive yet
 			}
 			c.mu.Lock()
@@ -960,6 +913,7 @@ func (c *Cluster) evalPartitionHedged(ctx context.Context, hc *hedger, p int, co
 				continue // nowhere to hedge; keep waiting on the primary
 			}
 			c.ob.hedges.Inc()
+			c.decide(Decision{Kind: DecideHedge, Part: p, Worker: straggler, Target: -1})
 			psp.Event(fmt.Sprintf("hedge fired against straggling worker %d", straggler))
 			psp.SetBool("hedged", true)
 			hctx, cancel := context.WithCancel(ctx)
@@ -1042,33 +996,28 @@ func (c *Cluster) probeAll(stop chan struct{}) {
 		err := workers[wi].Ping(pctx)
 		cancel()
 		c.ob.pingSecs.Observe(time.Since(pstart).Seconds())
+		if err != nil {
+			c.ob.pingErrs.Inc()
+		}
+		// The strike discipline itself is the shared ProbeStep policy; this
+		// loop only measures probes and applies the verdicts.
 		c.mu.Lock()
-		if err == nil {
-			c.strikes[wi] = 0
-			revived := !c.alive[wi]
-			c.alive[wi] = true
-			c.mu.Unlock()
-			if revived {
-				c.ob.resurrections.Inc()
-				rsp := obs.Start(c.opts.Tracer, "dist.resurrection")
-				rsp.SetInt("worker", int64(wi))
-				rsp.End()
-			}
-			continue
-		}
-		c.ob.pingErrs.Inc()
-		c.strikes[wi]++
-		strikes := c.strikes[wi]
-		suspect := c.alive[wi] && strikes >= c.opts.HeartbeatStrikes
-		if suspect {
-			c.alive[wi] = false
-		}
+		newAlive, newStrikes, verdict := ProbeStep(c.alive[wi], c.strikes[wi], c.opts.HeartbeatStrikes, err == nil)
+		c.alive[wi], c.strikes[wi] = newAlive, newStrikes
 		c.mu.Unlock()
-		if suspect {
+		switch verdict {
+		case ProbeResurrect:
+			c.ob.resurrections.Inc()
+			c.decide(Decision{Kind: DecideResurrect, Part: -1, Worker: wi, Target: -1})
+			rsp := obs.Start(c.opts.Tracer, "dist.resurrection")
+			rsp.SetInt("worker", int64(wi))
+			rsp.End()
+		case ProbeEvict:
 			c.ob.evictions.Inc()
+			c.decide(Decision{Kind: DecideEvict, Part: -1, Worker: wi, Target: -1, Strikes: newStrikes})
 			esp := obs.Start(c.opts.Tracer, "dist.eviction")
 			esp.SetInt("worker", int64(wi))
-			esp.SetInt("strikes", int64(strikes))
+			esp.SetInt("strikes", int64(newStrikes))
 			esp.Event("worker evicted by heartbeat; re-shipping its partitions")
 			c.reshipFrom(wi, esp)
 			esp.End()
@@ -1081,23 +1030,7 @@ func (c *Cluster) probeAll(stop chan struct{}) {
 // mid-Eval failover path to retry.
 func (c *Cluster) reshipFrom(dead int, sp *obs.Span) {
 	c.mu.Lock()
-	var moves [][2]int // partition, target worker
-	live := make([]int, 0, len(c.workers))
-	for k, a := range c.alive {
-		if a {
-			live = append(live, k)
-		}
-	}
-	if len(live) > 0 {
-		r := 0
-		for p, wi := range c.assign {
-			if wi != dead {
-				continue
-			}
-			moves = append(moves, [2]int{p, live[r%len(live)]})
-			r++
-		}
-	}
+	moves := ReshipPlan(c.assign, c.alive, dead)
 	c.mu.Unlock()
 	for _, m := range moves {
 		p, target := m[0], m[1]
@@ -1108,6 +1041,7 @@ func (c *Cluster) reshipFrom(dead int, sp *obs.Span) {
 		cancel()
 		if err == nil {
 			c.ob.reships.Inc()
+			c.decide(Decision{Kind: DecideReship, Part: p, Worker: dead, Target: target})
 			sp.Event(fmt.Sprintf("partition %d re-shipped to worker %d", p, target))
 			c.setAssign(p, target)
 		}

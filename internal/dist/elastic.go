@@ -309,6 +309,7 @@ func (ec *ElasticCluster) rebalanceLocked(ctx context.Context) {
 			// a pre-flap load — re-attach without re-shipping the rows.
 			ec.c.setAssign(p, desired)
 			ec.c.ob.warmAttach.Inc()
+			ec.c.decide(Decision{Kind: DecideWarmAttach, Part: p, Worker: desired, Target: -1})
 			warm++
 			continue
 		}
@@ -322,6 +323,7 @@ func (ec *ElasticCluster) rebalanceLocked(ctx context.Context) {
 		}
 		ec.c.setAssign(p, desired)
 		ec.c.ob.rebalances.Inc()
+		ec.c.decide(Decision{Kind: DecideRebalance, Part: p, Worker: cur, Target: desired})
 		moved++
 	}
 	sp.SetInt("moved", int64(moved))

@@ -98,6 +98,32 @@ func (k Kind) String() string {
 // errors.Is against it to distinguish injected faults from real bugs.
 var ErrInjected = errors.New("faults: injected failure")
 
+// ParseOp resolves an operation by its String name ("Load", "Eval", "Ping",
+// case-insensitively also "load" etc.), for declarative fault scripts.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "Load", "load":
+		return OpLoad, nil
+	case "Eval", "eval":
+		return OpEval, nil
+	case "Ping", "ping":
+		return OpPing, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown op %q", s)
+	}
+}
+
+// ParseKind resolves a fault kind by its String name ("delay",
+// "crash-before", …), for declarative fault scripts.
+func ParseKind(s string) (Kind, error) {
+	for k := None; k <= CorruptReply; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown fault kind %q", s)
+}
+
 // Action is the fault applied to one call.
 type Action struct {
 	Kind  Kind
@@ -163,6 +189,14 @@ func Seeded(seed int64, p Profile) *Schedule {
 		p.MaxDelay = 20 * time.Millisecond
 	}
 	return &Schedule{seed: seed, profile: p}
+}
+
+// Action resolves the fault scripted for one (operation, call index) pair.
+// It is a pure function of the schedule's rules (or seed), so the cluster
+// simulator resolves scenario fault scripts through the very same schedule
+// the in-process chaos wrapper uses.
+func (s *Schedule) Action(op Op, call int) Action {
+	return s.action(op, call)
 }
 
 // action resolves the fault for one call.

@@ -163,6 +163,19 @@ func (r *Registrar) Announce(a Announce) (AnnounceReply, error) {
 	return reply, nil
 }
 
+// LeaseStep is the lease expiry discipline as a pure transition: one scan
+// observes whether the member renewed since the previous scan and either
+// clears its strikes or strikes it, expiring it at the limit. It is the dist
+// heartbeat's ProbeStep inverted (workers prove themselves to the driver)
+// and is shared with the cluster simulator's membership model.
+func LeaseStep(renewed bool, strikes, limit int) (newStrikes int, expired bool) {
+	if renewed {
+		return 0, false
+	}
+	strikes++
+	return strikes, strikes >= limit
+}
+
 // Tick runs one expiry scan: members that announced since the previous scan
 // are cleared; the silent ones take a strike, and a member reaching the
 // strike limit is expired from the view. Start runs this on a ticker;
@@ -171,13 +184,10 @@ func (r *Registrar) Tick() {
 	r.mu.Lock()
 	changed := false
 	for id, m := range r.members {
-		if m.renewed {
-			m.renewed = false
-			m.strikes = 0
-			continue
-		}
-		m.strikes++
-		if m.strikes >= r.cfg.Strikes {
+		strikes, expired := LeaseStep(m.renewed, m.strikes, r.cfg.Strikes)
+		m.renewed = false
+		m.strikes = strikes
+		if expired {
 			delete(r.members, id)
 			changed = true
 			r.ob.expirations.Inc()

@@ -100,6 +100,90 @@ func TestRingRoughBalance(t *testing.T) {
 	}
 }
 
+// TestRingBalanceBound is the documented placement-balance guarantee: with
+// DefaultVnodes (64) points per member and ~64 partitions per worker, no
+// worker's load strays outside [0.5, 1.75]× the fair share, and the
+// normalized load variance (CV²) stays under 0.10, across fleet sizes
+// spanning the simulator's 8–150 worker scenarios. The ring hash is
+// deterministic, so these are exact assertions on the distribution the
+// design promises, not a flaky sample.
+func TestRingBalanceBound(t *testing.T) {
+	for _, w := range []int{8, 25, 64, 150} {
+		ids := make([]string, w)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("worker-%04d", i)
+		}
+		r := BuildRing(ids, 0)
+		n := 64 * w
+		counts := make(map[string]int, w)
+		for _, sig := range []uint64{0x511ce11e, 0xabc123, 1} {
+			for p := 0; p < n; p++ {
+				owner, ok := r.Owner(PartitionKey(sig, n, p))
+				if !ok {
+					t.Fatalf("w=%d: no owner for partition %d", w, p)
+				}
+				counts[owner]++
+			}
+		}
+		fair := float64(3*n) / float64(w)
+		var sumsq float64
+		for _, id := range ids {
+			c := float64(counts[id])
+			if c > 1.75*fair || c < 0.5*fair {
+				t.Errorf("w=%d: %s owns %.0f of fair share %.1f (ratio %.2f), outside [0.5, 1.75]",
+					w, id, c, fair, c/fair)
+			}
+			d := c - fair
+			sumsq += d * d
+		}
+		if cv2 := (sumsq / float64(w)) / (fair * fair); cv2 > 0.10 {
+			t.Errorf("w=%d: normalized load variance %.4f exceeds 0.10", w, cv2)
+		}
+	}
+}
+
+// TestRingChurnGolden pins the exact movement counts for a single join and a
+// single leave on a 10-worker fleet with 256 partitions. The property tests
+// above say "few keys move"; this golden makes any silent change to the hash,
+// the vnode scheme, or the tie-break — all of which would reshuffle every
+// warm partition cache in a live fleet — fail loudly with the new numbers.
+func TestRingChurnGolden(t *testing.T) {
+	ids := make([]string, 10)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("worker-%04d", i)
+	}
+	base := BuildRing(ids, 0)
+	joined := BuildRing(append(append([]string{}, ids...), "worker-0010"), 0)
+	left := BuildRing(ids[1:], 0) // worker-0000 departs
+
+	const n, sig = 256, 0x511ce11e
+	joinMoved, toJoiner, leaveMoved, ownedByW0 := 0, 0, 0, 0
+	for p := 0; p < n; p++ {
+		k := PartitionKey(sig, n, p)
+		b, _ := base.Owner(k)
+		if b == "worker-0000" {
+			ownedByW0++
+		}
+		if j, _ := joined.Owner(k); j != b {
+			joinMoved++
+			if j == "worker-0010" {
+				toJoiner++
+			}
+		}
+		if l, _ := left.Owner(k); l != b {
+			leaveMoved++
+		}
+	}
+	// Every moved key on a join lands on the joiner; every moved key on a
+	// leave is one the departed member owned. The counts are pinned.
+	if joinMoved != 31 || toJoiner != 31 {
+		t.Errorf("join moved %d keys (%d to the joiner), golden is 31/31", joinMoved, toJoiner)
+	}
+	if leaveMoved != 34 || ownedByW0 != 34 {
+		t.Errorf("leave moved %d keys, departed member owned %d, golden is 34/34", leaveMoved, ownedByW0)
+	}
+}
+
 func TestPartitionKeyStability(t *testing.T) {
 	// Pinned values: these keys address worker-side partition caches across
 	// jobs and restarts, so the function must never change silently.

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// engine is the discrete-event core: a priority queue of callbacks keyed by
+// virtual time, with a strictly monotone clock. Ties break on insertion
+// order (a monotone sequence number), so execution order is a pure function
+// of the schedule — never of map iteration or goroutine timing.
+type engine struct {
+	now    time.Duration
+	seq    uint64
+	pq     eventHeap
+	nSteps int64
+}
+
+// timer is a cancellable scheduled event.
+type timer struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+}
+
+// stop cancels the event; a stopped event's callback never runs.
+func (t *timer) stop() { t.stopped = true }
+
+type eventHeap []*timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// at schedules fn at absolute virtual time t (clamped to now).
+func (e *engine) at(t time.Duration, fn func()) *timer {
+	if t < e.now {
+		t = e.now
+	}
+	tm := &timer{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, tm)
+	return tm
+}
+
+// after schedules fn d from now.
+func (e *engine) after(d time.Duration, fn func()) *timer {
+	return e.at(e.now+d, fn)
+}
+
+// errStalled reports a simulation whose pending work can never complete —
+// e.g. a hung RPC with no call timeout and no hedge to rescue it.
+var errStalled = errors.New("sim: simulation stalled: pending work but no scheduled events (hint: set call_timeout_ms or enable hedging)")
+
+// errRunaway bounds the event count; a scenario tripping it is almost
+// certainly a bug or absurdly over-scaled.
+var errRunaway = errors.New("sim: event budget exhausted")
+
+// maxEvents bounds one run. Committed scenarios use a few hundred thousand
+// events; 50M leaves two orders of magnitude of headroom.
+const maxEvents = 50_000_000
+
+// runUntil executes events in time order until done() reports true. It
+// returns errStalled when the queue empties first and errRunaway past the
+// event budget.
+func (e *engine) runUntil(done func() bool) error {
+	for !done() {
+		var tm *timer
+		for {
+			if e.pq.Len() == 0 {
+				return errStalled
+			}
+			tm = heap.Pop(&e.pq).(*timer)
+			if !tm.stopped {
+				break
+			}
+		}
+		if e.nSteps++; e.nSteps > maxEvents {
+			return errRunaway
+		}
+		e.now = tm.at
+		tm.fn()
+	}
+	return nil
+}

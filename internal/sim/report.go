@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ReportSchemaVersion is the report format version; readers reject others.
+const ReportSchemaVersion = 1
+
+// ErrBadReport wraps every report validation failure.
+var ErrBadReport = errors.New("sim: malformed report")
+
+// RunReport is one grid point's outcome inside a report.
+type RunReport struct {
+	Knobs   Knobs   `json:"knobs"`
+	Metrics Metrics `json:"metrics"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// Report is the versioned artifact cmd/slsim emits: every grid point's
+// metrics plus the winner table. It contains no wall-clock timestamps and no
+// map-ordered content, so the same scenario and seed produce byte-identical
+// bytes from Encode — the property CI pins.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Scenario      string `json:"scenario"`
+	Seed          uint64 `json:"seed"`
+	Workers       int    `json:"workers"`
+	Partitions    int    `json:"partitions"`
+	Levels        []int  `json:"levels"`
+
+	Runs []RunReport `json:"runs"`
+
+	// Winners maps each objective to the knobs of the run that minimized it
+	// (failed runs excluded; ties break toward earlier grid order).
+	Winners map[string]Knobs `json:"winners"`
+
+	// Recommended minimizes the composite score: normalized makespan + p99
+	// level latency, with wasted speculative work as a tiebreaker tax.
+	Recommended Knobs `json:"recommended"`
+}
+
+// Sweep simulates every grid point of the scenario — each point re-runs the
+// identical seed, so knob comparisons are paired — and assembles the report.
+func Sweep(sc Scenario) Report {
+	rep := Report{
+		SchemaVersion: ReportSchemaVersion,
+		Scenario:      sc.Name,
+		Seed:          sc.Seed,
+		Workers:       sc.Workers,
+		Partitions:    sc.Partitions,
+		Levels:        sc.Levels,
+	}
+	for _, k := range sc.Grid.Points() {
+		res := Run(sc, k)
+		rep.Runs = append(rep.Runs, RunReport{Knobs: res.Knobs, Metrics: res.Metrics, Error: res.Err})
+	}
+	rep.Winners, rep.Recommended = pickWinners(rep.Runs)
+	return rep
+}
+
+// pickWinners selects, per objective, the knobs minimizing it, and the
+// composite recommendation.
+func pickWinners(runs []RunReport) (map[string]Knobs, Knobs) {
+	objectives := []struct {
+		name string
+		of   func(Metrics) float64
+	}{
+		{"makespan_ms", func(m Metrics) float64 { return m.MakespanMS }},
+		{"level_p99_ms", func(m Metrics) float64 { return m.LevelP99MS }},
+		{"wasted_hedge_ms", func(m Metrics) float64 { return m.WastedHedgeMS }},
+		{"bytes_reshipped", func(m Metrics) float64 { return float64(m.BytesReshipped) }},
+	}
+	winners := make(map[string]Knobs)
+	var healthy []RunReport
+	for _, r := range runs {
+		if r.Error == "" {
+			healthy = append(healthy, r)
+		}
+	}
+	if len(healthy) == 0 {
+		return winners, Knobs{}
+	}
+	for _, ob := range objectives {
+		best := 0
+		for i, r := range healthy {
+			if ob.of(r.Metrics) < ob.of(healthy[best].Metrics) {
+				best = i
+			}
+		}
+		winners[ob.name] = healthy[best].Knobs
+	}
+	// Composite: normalize makespan and p99 by their minima (so both weigh
+	// equally regardless of scale) and tax wasted speculative work lightly —
+	// hedging that buys latency with a little redundant compute should win,
+	// hedging that buys nothing should not.
+	minOf := func(of func(Metrics) float64) float64 {
+		min := math.Inf(1)
+		for _, r := range healthy {
+			if v := of(r.Metrics); v < min {
+				min = v
+			}
+		}
+		if min <= 0 {
+			min = 1
+		}
+		return min
+	}
+	minMake := minOf(func(m Metrics) float64 { return m.MakespanMS })
+	minP99 := minOf(func(m Metrics) float64 { return m.LevelP99MS })
+	best, bestScore := 0, math.Inf(1)
+	for i, r := range healthy {
+		score := r.Metrics.MakespanMS/minMake + r.Metrics.LevelP99MS/minP99 +
+			0.1*r.Metrics.WastedHedgeMS/minMake
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return winners, healthy[best].Knobs
+}
+
+// EncodeReport writes the canonical byte encoding: two-space indented JSON
+// with a trailing newline. Struct-field order and json's sorted map keys
+// make the bytes a pure function of the value.
+func EncodeReport(w io.Writer, rep Report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// DecodeReport strictly decodes and validates one report document.
+func DecodeReport(r io.Reader) (Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return rep, fmt.Errorf("%w: %v", ErrBadReport, err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return rep, fmt.Errorf("%w: trailing data after document", ErrBadReport)
+	}
+	return rep, rep.Validate()
+}
+
+// Validate checks a decoded report's integrity.
+func (rep Report) Validate() error {
+	bad := func(format string, args ...interface{}) error {
+		return fmt.Errorf("%w: %s", ErrBadReport, fmt.Sprintf(format, args...))
+	}
+	if rep.SchemaVersion != ReportSchemaVersion {
+		return bad("schema_version %d (want %d)", rep.SchemaVersion, ReportSchemaVersion)
+	}
+	if rep.Scenario == "" {
+		return bad("report has no scenario name")
+	}
+	if len(rep.Runs) == 0 {
+		return bad("report has no runs")
+	}
+	for i, r := range rep.Runs {
+		m := r.Metrics
+		if r.Error == "" && (m.MakespanMS < 0 || math.IsNaN(m.MakespanMS) || math.IsInf(m.MakespanMS, 0)) {
+			return bad("run %d has out-of-domain makespan %v", i, m.MakespanMS)
+		}
+	}
+	return nil
+}

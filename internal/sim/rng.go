@@ -1,0 +1,133 @@
+// Package sim is a deterministic discrete-event simulator for the Dist-PFor
+// scheduling stack: it models 100–1000 workers with configurable latency,
+// straggler, and failure distributions over star or two-tier rack
+// topologies, and drives the *real* scheduling policies — dist.HedgePolicy,
+// dist.ProbeStep, dist.NextLiveWorker, dist.ReshipPlan, dist.PartitionSizes,
+// membership.Ring placement, membership.LeaseStep — in virtual time, so the
+// knobs the TCP runtime exposes (-hedge-mult, -heartbeat, strikes, …) can be
+// tuned with evidence at fleet scale instead of intuition.
+//
+// Everything is a pure function of the scenario and its seed: there is no
+// wall clock, no goroutine nondeterminism, and no map-order dependence
+// anywhere in a run, so the same scenario file and seed produce a
+// byte-identical report (cmd/slsim), and CI pins that property.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// RNG is a splitmix64 pseudo-random stream: tiny, fast, and with full-period
+// 64-bit state, so every simulated quantity derives from the scenario seed
+// alone. The same finalizer already drives the membership ring's point
+// hashing.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 advances the stream (splitmix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns a standard normal draw via Box–Muller. No spare value is
+// cached: one draw always consumes exactly two uniforms, which keeps the
+// stream position a pure function of the draw count.
+func (r *RNG) Norm() float64 {
+	// Guard the log: Float64 can return exactly 0.
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// Mix64 folds a stream ID into a seed, giving every simulated worker its own
+// decorrelated substream (same avalanche finalizer as splitmix64).
+func Mix64(seed, stream uint64) uint64 {
+	x := seed ^ (stream * 0x9e3779b97f4a7c15)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Dist is one scalar distribution, declaratively specified in scenario
+// files. Supported kinds:
+//
+//   - "constant": always Value (an omitted kind with all-zero params is the
+//     constant 0).
+//   - "uniform": uniform in [Min, Max].
+//   - "lognormal": exp(Mu + Sigma·N(0,1)) — the canonical service-time shape.
+//   - "pareto": Scale · U^(-1/Alpha), the heavy straggler tail (Alpha > 0;
+//     smaller Alpha = heavier tail).
+type Dist struct {
+	Kind  string  `json:"kind,omitempty"`
+	Value float64 `json:"value,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// IsZero reports whether the distribution was omitted entirely.
+func (d Dist) IsZero() bool { return d == Dist{} }
+
+// Validate checks the parameters for the declared kind.
+func (d Dist) Validate() error {
+	switch d.Kind {
+	case "", "constant":
+		if d.Value < 0 {
+			return fmt.Errorf("constant distribution with negative value %v", d.Value)
+		}
+	case "uniform":
+		if d.Min < 0 || d.Max < d.Min {
+			return fmt.Errorf("uniform distribution needs 0 <= min <= max, got [%v, %v]", d.Min, d.Max)
+		}
+	case "lognormal":
+		if d.Sigma < 0 {
+			return fmt.Errorf("lognormal distribution with negative sigma %v", d.Sigma)
+		}
+	case "pareto":
+		if d.Scale <= 0 || d.Alpha <= 0 {
+			return fmt.Errorf("pareto distribution needs scale > 0 and alpha > 0, got scale=%v alpha=%v", d.Scale, d.Alpha)
+		}
+	default:
+		return fmt.Errorf("unknown distribution kind %q", d.Kind)
+	}
+	return nil
+}
+
+// Sample draws one value. Draws are never negative.
+func (d Dist) Sample(r *RNG) float64 {
+	switch d.Kind {
+	case "uniform":
+		return d.Min + (d.Max-d.Min)*r.Float64()
+	case "lognormal":
+		return math.Exp(d.Mu + d.Sigma*r.Norm())
+	case "pareto":
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return d.Scale * math.Pow(u, -1/d.Alpha)
+	default: // constant
+		return d.Value
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const validScenarioDoc = `{
+  "schema_version": 1,
+  "name": "smoke",
+  "seed": 42,
+  "workers": 4,
+  "partitions": 4,
+  "rows": 4000,
+  "bytes_per_row": 64,
+  "bandwidth_mbps": 100,
+  "levels": [10, 20],
+  "topology": {"kind": "two-tier", "racks": 2,
+    "local_ms": {"kind": "uniform", "min": 0.1, "max": 0.3},
+    "cross_ms": {"kind": "constant", "value": 0.5}},
+  "service": {"per_pair_ns": {"kind": "lognormal", "mu": 5, "sigma": 0.2}},
+  "faults": {
+    "crashes": [{"worker": 1, "at_ms": 10, "down_ms": 50}],
+    "script": [{"worker": 2, "op": "eval", "call": 0, "kind": "delay", "delay_ms": 5}]
+  },
+  "grid": {"hedge_mult": [0, 2.0], "heartbeat_ms": [100]}
+}`
+
+func TestDecodeScenario(t *testing.T) {
+	sc, err := DecodeScenario(strings.NewReader(validScenarioDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "smoke" || sc.Workers != 4 || len(sc.Levels) != 2 {
+		t.Fatalf("decoded scenario %+v", sc)
+	}
+	if len(sc.Grid.Points()) != 2 {
+		t.Fatalf("grid points = %d, want 2", len(sc.Grid.Points()))
+	}
+}
+
+func TestDecodeScenarioRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":    strings.Replace(validScenarioDoc, `"seed": 42`, `"seed": 42, "bogus": 1`, 1),
+		"trailing garbage": validScenarioDoc + `{"more": true}`,
+		"wrong version":    strings.Replace(validScenarioDoc, `"schema_version": 1`, `"schema_version": 9`, 1),
+		"bad fault op":     strings.Replace(validScenarioDoc, `"op": "eval"`, `"op": "explode"`, 1),
+		"bad fault kind":   strings.Replace(validScenarioDoc, `"kind": "delay", "delay_ms": 5`, `"kind": "meteor"`, 1),
+		"worker oob":       strings.Replace(validScenarioDoc, `"crashes": [{"worker": 1`, `"crashes": [{"worker": 99`, 1),
+		"no levels":        strings.Replace(validScenarioDoc, `"levels": [10, 20]`, `"levels": []`, 1),
+		"bad topology":     strings.Replace(validScenarioDoc, `"kind": "two-tier", "racks": 2`, `"kind": "mesh"`, 1),
+	}
+	for name, doc := range cases {
+		if _, err := DecodeScenario(strings.NewReader(doc)); !errors.Is(err, ErrBadScenario) {
+			t.Errorf("%s: err = %v, want ErrBadScenario", name, err)
+		}
+	}
+}
+
+func TestDecodeReportRejects(t *testing.T) {
+	var buf bytes.Buffer
+	sc, err := DecodeScenario(strings.NewReader(validScenarioDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Grid = Grid{HeartbeatMS: []int{100}}
+	if err := EncodeReport(&buf, Sweep(sc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeReport(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("round-trip failed: %v", err)
+	}
+	mangled := strings.Replace(buf.String(), `"schema_version": 1`, `"schema_version": 3`, 1)
+	if _, err := DecodeReport(strings.NewReader(mangled)); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("wrong report version accepted: %v", err)
+	}
+	if _, err := DecodeReport(strings.NewReader(buf.String() + "junk")); !errors.Is(err, ErrBadReport) {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// FuzzDecodeScenario drives the strict scenario decoder with arbitrary
+// bytes: it must never panic, and anything it accepts must re-validate and
+// survive an encode/decode round trip.
+func FuzzDecodeScenario(f *testing.F) {
+	f.Add([]byte(validScenarioDoc))
+	f.Add([]byte(`{"schema_version":1,"name":"x","seed":0,"workers":1,"partitions":1,` +
+		`"rows":1,"bytes_per_row":1,"bandwidth_mbps":1,"levels":[1],` +
+		`"topology":{"kind":"star","local_ms":{}},"service":{"per_pair_ns":{"value":1}},"grid":{}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := DecodeScenario(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := sc.Validate(); verr != nil {
+			t.Fatalf("decoder accepted a scenario Validate rejects: %v", verr)
+		}
+		b, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		if _, err := DecodeScenario(bytes.NewReader(b)); err != nil {
+			t.Fatalf("accepted scenario does not round-trip: %v", err)
+		}
+	})
+}

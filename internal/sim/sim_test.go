@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := &engine{}
+	var got []int
+	e.at(20*time.Millisecond, func() { got = append(got, 2) })
+	e.at(10*time.Millisecond, func() { got = append(got, 1) })
+	// Ties break on insertion order.
+	e.at(30*time.Millisecond, func() { got = append(got, 3) })
+	e.at(30*time.Millisecond, func() { got = append(got, 4) })
+	tm := e.at(15*time.Millisecond, func() { got = append(got, 99) })
+	tm.stop()
+	if err := e.runUntil(func() bool { return len(got) == 4 }); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{1, 2, 3, 4} {
+		if got[i] != want {
+			t.Fatalf("execution order %v", got)
+		}
+	}
+	if e.now != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", e.now)
+	}
+}
+
+func TestEngineStall(t *testing.T) {
+	e := &engine{}
+	if err := e.runUntil(func() bool { return false }); err != errStalled {
+		t.Fatalf("err = %v, want errStalled", err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds collided on the first draw")
+	}
+	if Mix64(7, 1) == Mix64(7, 2) {
+		t.Fatal("substreams collided")
+	}
+}
+
+func TestDistSample(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := (Dist{Kind: "uniform", Min: 2, Max: 5}).Sample(r); v < 2 || v > 5 {
+			t.Fatalf("uniform draw %v out of range", v)
+		}
+		if v := (Dist{Kind: "pareto", Scale: 3, Alpha: 2}).Sample(r); v < 3 {
+			t.Fatalf("pareto draw %v below scale", v)
+		}
+		if v := (Dist{Kind: "lognormal", Mu: 0, Sigma: 1}).Sample(r); v <= 0 || math.IsInf(v, 0) {
+			t.Fatalf("lognormal draw %v out of domain", v)
+		}
+	}
+	if v := (Dist{Value: 7}).Sample(r); v != 7 {
+		t.Fatalf("constant draw %v, want 7", v)
+	}
+	if err := (Dist{Kind: "nope"}).Validate(); err == nil {
+		t.Fatal("unknown kind validated")
+	}
+	if err := (Dist{Kind: "pareto", Scale: 0, Alpha: 1}).Validate(); err == nil {
+		t.Fatal("degenerate pareto validated")
+	}
+}
+
+// baseScenario is a small healthy fleet used across behavior tests.
+func baseScenario() Scenario {
+	return Scenario{
+		SchemaVersion: 1,
+		Name:          "test",
+		Seed:          7,
+		Workers:       8,
+		Partitions:    8,
+		Rows:          8000,
+		BytesPerRow:   64,
+		BandwidthMBps: 100,
+		Levels:        []int{20, 40, 20},
+		Topology:      Topology{Kind: "star", LocalMS: Dist{Kind: "uniform", Min: 0.1, Max: 0.5}},
+		Service: Service{
+			PerPairNS: Dist{Kind: "lognormal", Mu: 5, Sigma: 0.3},
+		},
+		// HedgeMult pinned to 0 (not the tuned dist default): behavior tests
+		// that want hedging enable it explicitly, so the healthy-fleet test
+		// stays quiet even as the tuned default gets more aggressive.
+		Grid: Grid{CallTimeoutMS: []int{2000}, HedgeMult: []float64{0}, HeartbeatMS: []int{100}, Strikes: []int{2}},
+	}
+}
+
+func TestRunHealthyFleet(t *testing.T) {
+	sc := baseScenario()
+	res := Run(sc, sc.Grid.Points()[0])
+	if res.Err != "" {
+		t.Fatalf("healthy run failed: %s", res.Err)
+	}
+	if res.Metrics.MakespanMS <= 0 {
+		t.Fatalf("makespan = %v", res.Metrics.MakespanMS)
+	}
+	if len(res.Decisions) != 0 {
+		t.Fatalf("healthy fleet made recovery decisions: %v", res.Decisions)
+	}
+	if res.Metrics.BytesShipped != 8000*64 {
+		t.Fatalf("bytes shipped = %d, want %d", res.Metrics.BytesShipped, 8000*64)
+	}
+	if res.Metrics.LevelP50MS <= 0 || res.Metrics.LevelP99MS < res.Metrics.LevelP50MS {
+		t.Fatalf("level percentiles p50=%v p99=%v", res.Metrics.LevelP50MS, res.Metrics.LevelP99MS)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	sc := baseScenario()
+	sc.Service.StragglerProb = 0.2
+	sc.Service.StragglerMult = Dist{Kind: "pareto", Scale: 2, Alpha: 2}
+	sc.Faults = &FaultPlan{Crashes: []CrashSpec{{Worker: 3, AtMS: 5, DownMS: 200}}}
+	sc.Grid.HedgeMult = []float64{2.0}
+	a := Run(sc, sc.Grid.Points()[0])
+	b := Run(sc, sc.Grid.Points()[0])
+	if a.Err != b.Err || a.Metrics != b.Metrics {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	if len(a.Decisions) != len(b.Decisions) {
+		t.Fatalf("decision streams diverged: %d vs %d", len(a.Decisions), len(b.Decisions))
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i] != b.Decisions[i] {
+			t.Fatalf("decision %d diverged: %v vs %v", i, a.Decisions[i], b.Decisions[i])
+		}
+	}
+}
+
+func TestSweepByteIdentical(t *testing.T) {
+	sc := baseScenario()
+	sc.Grid.HedgeMult = []float64{0, 2.0}
+	var buf1, buf2 bytes.Buffer
+	if err := EncodeReport(&buf1, Sweep(sc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeReport(&buf2, Sweep(sc)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("same scenario and seed produced different report bytes")
+	}
+	// A different seed still yields a schema-valid report (and a different
+	// timeline).
+	sc.Seed = 8
+	var buf3 bytes.Buffer
+	if err := EncodeReport(&buf3, Sweep(sc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeReport(&buf3); err != nil {
+		t.Fatalf("reseeded report failed validation: %v", err)
+	}
+	if bytes.Equal(buf1.Bytes(), buf3.Bytes()) {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+func TestHedgingRescuesStragglers(t *testing.T) {
+	sc := baseScenario()
+	// One pathological straggler: worker 2 computes 50× slower.
+	sc.Service.StragglerProb = 0
+	sc.Faults = &FaultPlan{Script: []ScriptRule{
+		{Worker: 2, Op: "eval", Call: 0, Kind: "delay", DelayMS: 400},
+		{Worker: 2, Op: "eval", Call: 1, Kind: "delay", DelayMS: 400},
+		{Worker: 2, Op: "eval", Call: 2, Kind: "delay", DelayMS: 400},
+	}}
+	off := Run(sc, Knobs{CallTimeoutMS: 5000, HeartbeatMS: 0})
+	on := Run(sc, Knobs{CallTimeoutMS: 5000, HeartbeatMS: 0, HedgeAfterMS: 30})
+	if off.Err != "" || on.Err != "" {
+		t.Fatalf("runs failed: %q %q", off.Err, on.Err)
+	}
+	if on.Metrics.Hedges == 0 || on.Metrics.HedgeWins == 0 {
+		t.Fatalf("hedging never fired: %+v", on.Metrics)
+	}
+	if on.Metrics.MakespanMS >= off.Metrics.MakespanMS {
+		t.Fatalf("hedging did not help: on=%v off=%v", on.Metrics.MakespanMS, off.Metrics.MakespanMS)
+	}
+	if on.Metrics.WastedHedgeMS <= 0 {
+		t.Fatal("hedge wins recorded but no wasted speculative work")
+	}
+}
+
+func TestCrashEvictionAndReship(t *testing.T) {
+	sc := baseScenario()
+	// Worker 0's evaluation pins the level open for ~400ms; worker 1 crashes
+	// at 50ms, after its own partition finished — so it dies *idle*, and only
+	// the heartbeat can notice. Two 20ms strikes later it is evicted and its
+	// partition proactively re-shipped, before any eval trips over the corpse.
+	sc.Levels = []int{50, 50}
+	sc.Faults = &FaultPlan{
+		Crashes: []CrashSpec{{Worker: 1, AtMS: 50}},
+		Script:  []ScriptRule{{Worker: 0, Op: "eval", Call: 0, Kind: "delay", DelayMS: 400}},
+	}
+	res := Run(sc, Knobs{CallTimeoutMS: 1000, HeartbeatMS: 20, Strikes: 2})
+	if res.Err != "" {
+		t.Fatalf("run failed: %s", res.Err)
+	}
+	if res.Metrics.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", res.Metrics.Evictions)
+	}
+	if res.Metrics.Reships == 0 && res.Metrics.Failovers == 0 {
+		t.Fatalf("crashed worker's partition never moved: %+v", res.Metrics)
+	}
+	if res.Metrics.BytesReshipped == 0 {
+		t.Fatal("no recovery bytes accounted")
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	sc := baseScenario()
+	sc.Faults = &FaultPlan{Script: []ScriptRule{{Worker: 0, Op: "eval", Call: 0, Kind: "hang"}}}
+	res := Run(sc, Knobs{CallTimeoutMS: 0, HeartbeatMS: 0})
+	if res.Err == "" || !strings.Contains(res.Err, "stalled") {
+		t.Fatalf("hung RPC without timeout did not stall: %q", res.Err)
+	}
+}
+
+func TestMembershipChurn(t *testing.T) {
+	sc := baseScenario()
+	sc.Levels = []int{30, 30, 30, 30, 30, 30}
+	sc.Membership = &MembershipPlan{LeaseMS: 20, Strikes: 2}
+	sc.Faults = &FaultPlan{Crashes: []CrashSpec{{Worker: 2, AtMS: 40, DownMS: 120}}}
+	res := Run(sc, Knobs{CallTimeoutMS: 500, HeartbeatMS: 0})
+	if res.Err != "" {
+		t.Fatalf("elastic run failed: %s", res.Err)
+	}
+	m := res.Metrics
+	if m.Joins < sc.Workers {
+		t.Fatalf("joins = %d, want at least %d", m.Joins, sc.Workers)
+	}
+	if m.Expiries == 0 {
+		t.Fatalf("crashed worker's lease never expired: %+v", m)
+	}
+	if m.Rebalances == 0 && m.WarmAttaches == 0 {
+		t.Fatalf("membership change moved nothing: %+v", m)
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	g := Grid{HedgeMult: []float64{0, 1.5, 2}, HeartbeatMS: []int{100, 200}}
+	pts := g.Points()
+	if len(pts) != 6 {
+		t.Fatalf("grid size = %d, want 6", len(pts))
+	}
+	// Omitted axes pin the runtime defaults.
+	if pts[0].CallTimeoutMS != 10000 || pts[0].Strikes != 2 {
+		t.Fatalf("defaults not pinned: %+v", pts[0])
+	}
+}
+
+func TestScaleThousandWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := baseScenario()
+	sc.Workers = 1000
+	sc.Partitions = 1000
+	sc.Rows = 100000
+	sc.Levels = []int{50}
+	sc.Topology = Topology{
+		Kind: "two-tier", Racks: 25,
+		LocalMS: Dist{Kind: "uniform", Min: 0.05, Max: 0.2},
+		CrossMS: Dist{Kind: "uniform", Min: 0.3, Max: 0.8},
+	}
+	sc.Service.StragglerProb = 0.02
+	sc.Service.StragglerMult = Dist{Kind: "pareto", Scale: 3, Alpha: 1.5}
+	res := Run(sc, Knobs{CallTimeoutMS: 10000, HeartbeatMS: 500, Strikes: 2, HedgeMult: 2})
+	if res.Err != "" {
+		t.Fatalf("1000-worker run failed: %s", res.Err)
+	}
+	if res.Metrics.Hedges == 0 {
+		t.Fatalf("pareto stragglers at fleet scale never triggered a hedge: %+v", res.Metrics)
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "time"
+
+// topoModel samples one-way driver↔worker message latency for a scenario
+// topology. The driver sits in rack 0 of a two-tier topology; a message to a
+// worker in another rack pays the local hop plus a cross-rack spine hop.
+type topoModel struct {
+	kind  string
+	racks int
+	local Dist
+	cross Dist
+}
+
+func newTopoModel(t Topology) topoModel {
+	return topoModel{kind: t.Kind, racks: t.Racks, local: t.LocalMS, cross: t.CrossMS}
+}
+
+// rack returns the rack a worker lives in.
+func (t topoModel) rack(worker int) int {
+	if t.kind != "two-tier" || t.racks <= 0 {
+		return 0
+	}
+	return worker % t.racks
+}
+
+// oneWay samples the one-way latency of one message between the driver and
+// worker, drawing from r (the worker's RNG substream, so latency draws stay
+// decorrelated across workers).
+func (t topoModel) oneWay(worker int, r *RNG) time.Duration {
+	ms := t.local.Sample(r)
+	if t.rack(worker) != 0 {
+		ms += t.cross.Sample(r)
+	}
+	return msToDur(ms)
+}
+
+// msToDur converts fractional milliseconds to a duration.
+func msToDur(ms float64) time.Duration {
+	if ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}
